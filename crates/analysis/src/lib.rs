@@ -1,0 +1,27 @@
+//! Statistics, parameter sweeps, and report formatting for the faultnet
+//! experiments.
+//!
+//! The paper's evaluation is a set of asymptotic theorems; reproducing it
+//! means measuring finite-size behaviour and checking *shapes*: scaling
+//! exponents (Theorems 4, 10, 11), exponential growth (Theorems 3(i) and 7),
+//! and threshold locations (Theorem 3, Lemma 6, the background percolation
+//! thresholds). This crate provides the shared measurement vocabulary:
+//!
+//! * [`stats`] — summaries (mean, median, quantiles, confidence intervals),
+//! * [`regression`] — least-squares line fits and log–log power-law fits for
+//!   estimating scaling exponents,
+//! * [`phase`] — threshold/crossing detection on measured curves,
+//! * [`sweep`] — seeded parameter sweeps with optional parallel execution,
+//! * [`table`] / [`figure`] / [`histogram`] — plain-text tables, ASCII
+//!   figures, and histograms used by the experiment binaries (these are the
+//!   "tables and figures" the benchmark harness regenerates).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figure;
+pub mod histogram;
+pub mod phase;
+pub mod regression;
+pub mod stats;
+pub mod sweep;
+pub mod table;

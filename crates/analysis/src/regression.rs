@@ -1,0 +1,223 @@
+//! Least-squares fits used to estimate scaling exponents.
+//!
+//! The experiments reduce most of the paper's asymptotic statements to
+//! exponent estimates: Theorem 4 predicts probes `≈ c·n` (exponent 1 in the
+//! distance), Theorem 10 predicts `≈ c·n²` and Theorem 11 `≈ c·n^{3/2}` (in
+//! the number of vertices), and Theorems 3(i)/7 predict growth faster than
+//! any polynomial (log–log fits keep drifting upwards). A power law
+//! `y = a·x^b` is a line in log–log space, so both needs are covered by a
+//! plain least-squares line fit.
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 means a perfect fit).
+    pub r_squared: f64,
+}
+
+impl LineFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// Returns `None` if fewer than two distinct `x` values are supplied.
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sum_x: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = pts.iter().map(|(_, y)| y).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+    let sxx: f64 = pts.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = pts.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = pts.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = pts
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Result of a power-law fit `y ≈ amplitude · x^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Fitted exponent `b` in `y = a·x^b` — the scaling exponent.
+    pub exponent: f64,
+    /// Fitted amplitude `a`.
+    pub amplitude: f64,
+    /// Coefficient of determination of the underlying log–log line fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.amplitude * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y ≈ a·x^b` by least squares in log–log space. Points with
+/// non-positive coordinates are ignored. Returns `None` if fewer than two
+/// usable points remain.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_analysis::regression::fit_power_law;
+///
+/// let points: Vec<(f64, f64)> = (1..=6).map(|i| {
+///     let x = i as f64 * 10.0;
+///     (x, 3.0 * x * x)
+/// }).collect();
+/// let fit = fit_power_law(&points).unwrap();
+/// assert!((fit.exponent - 2.0).abs() < 1e-9);
+/// assert!((fit.amplitude - 3.0).abs() < 1e-6);
+/// ```
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let line = fit_line(&logged)?;
+    Some(PowerLawFit {
+        exponent: line.slope,
+        amplitude: line.intercept.exp(),
+        r_squared: line.r_squared,
+    })
+}
+
+/// Fits `y ≈ a·exp(b·x)` (semi-log fit). Points with non-positive `y` are
+/// ignored. Returns `None` if fewer than two usable points remain.
+pub fn fit_exponential(points: &[(f64, f64)]) -> Option<ExponentialFit> {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(_, y)| *y > 0.0)
+        .map(|(x, y)| (*x, y.ln()))
+        .collect();
+    let line = fit_line(&logged)?;
+    Some(ExponentialFit {
+        rate: line.slope,
+        amplitude: line.intercept.exp(),
+        r_squared: line.r_squared,
+    })
+}
+
+/// Result of an exponential fit `y ≈ amplitude · exp(rate·x)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialFit {
+    /// Fitted growth rate `b` in `y = a·e^{b·x}`.
+    pub rate: f64,
+    /// Fitted amplitude `a`.
+    pub amplitude: f64,
+    /// Coefficient of determination of the underlying semi-log line fit.
+    pub r_squared: f64,
+}
+
+impl ExponentialFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.amplitude * (self.rate * x).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none()); // vertical
+        assert!(fit_line(&[(f64::NAN, 2.0), (1.0, 3.0)]).is_none());
+        assert!(fit_power_law(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+        assert!(fit_exponential(&[(1.0, -5.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_line_has_high_r_squared() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 3.0 * x + noise)
+            })
+            .collect();
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn power_law_exponents_distinguish_linear_quadratic_and_three_halves() {
+        let linear: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64 * 10.0, 7.0 * i as f64 * 10.0)).collect();
+        let quadratic: Vec<(f64, f64)> =
+            (1..=8).map(|i| ((i as f64) * 10.0, ((i as f64) * 10.0).powi(2))).collect();
+        let three_halves: Vec<(f64, f64)> =
+            (1..=8).map(|i| ((i as f64) * 10.0, ((i as f64) * 10.0).powf(1.5))).collect();
+        assert!((fit_power_law(&linear).unwrap().exponent - 1.0).abs() < 1e-9);
+        assert!((fit_power_law(&quadratic).unwrap().exponent - 2.0).abs() < 1e-9);
+        assert!((fit_power_law(&three_halves).unwrap().exponent - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| (i as f64, 2.5 * (0.7 * i as f64).exp()))
+            .collect();
+        let fit = fit_exponential(&pts).unwrap();
+        assert!((fit.rate - 0.7).abs() < 1e-9);
+        assert!((fit.amplitude - 2.5).abs() < 1e-6);
+        assert!((fit.predict(3.0) - 2.5 * (2.1f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_predict_round_trip() {
+        let fit = PowerLawFit {
+            exponent: 1.5,
+            amplitude: 2.0,
+            r_squared: 1.0,
+        };
+        assert!((fit.predict(4.0) - 16.0).abs() < 1e-12);
+    }
+}

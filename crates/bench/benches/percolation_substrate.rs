@@ -1,0 +1,71 @@
+//! Bench target for the percolation substrate used by every experiment
+//! (E5, E8): lazy sampling, component censuses, chemical distances, and
+//! threshold estimation.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faultnet_experiments::chemical_distance::measure_stretch_point;
+use faultnet_experiments::hypercube_giant::measure_hypercube_point;
+use faultnet_percolation::components::ComponentCensus;
+use faultnet_percolation::sample::EdgeStates;
+use faultnet_percolation::threshold::mean_giant_fraction;
+use faultnet_percolation::PercolationConfig;
+use faultnet_topology::hypercube::Hypercube;
+use faultnet_topology::torus::Torus;
+use faultnet_topology::Topology;
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation/sampler");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let cube = Hypercube::new(14);
+    let sampler = PercolationConfig::new(0.5, 3).sampler();
+    let edges = cube.incident_edges(faultnet_topology::VertexId(12345));
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("lazy_edge_states", |b| {
+        b.iter(|| edges.iter().filter(|e| sampler.is_open(**e)).count())
+    });
+    group.finish();
+}
+
+fn bench_component_census(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation/component_census");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[10u32, 12, 14] {
+        let cube = Hypercube::new(n);
+        group.throughput(Throughput::Elements(cube.num_edges()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let sampler = PercolationConfig::new(0.5, 7).sampler();
+            b.iter(|| ComponentCensus::compute(&cube, &sampler).giant_fraction())
+        });
+    }
+    group.finish();
+}
+
+fn bench_thresholds_and_stretch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation/analytics");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let torus = Torus::new(2, 24);
+    group.bench_function("giant_fraction_torus24", |b| {
+        b.iter(|| mean_giant_fraction(&torus, 0.55, 3, 11))
+    });
+    group.bench_function("chemical_stretch_d16", |b| {
+        b.iter(|| measure_stretch_point(0.7, 16, 6, 3))
+    });
+    group.bench_function("hypercube_giant_point_n10", |b| {
+        b.iter(|| measure_hypercube_point(10, 0.15, 4, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampler,
+    bench_component_census,
+    bench_thresholds_and_stretch
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Binary entry point for the E10 ablation experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::ablation::AblationExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { AblationExperiment::quick() } else { AblationExperiment::full() };
+    println!("{}", experiment.run().render());
+}

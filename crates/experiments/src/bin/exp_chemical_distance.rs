@@ -1,0 +1,12 @@
+//! Binary entry point for the E5 chemical distance experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::chemical_distance::ChemicalDistanceExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { ChemicalDistanceExperiment::quick() } else { ChemicalDistanceExperiment::full() };
+    println!("{}", experiment.run().render());
+}

@@ -1,0 +1,12 @@
+//! Binary entry point for the E6 double tree experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::double_tree::DoubleTreeExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { DoubleTreeExperiment::quick() } else { DoubleTreeExperiment::full() };
+    println!("{}", experiment.run().render());
+}

@@ -1,0 +1,12 @@
+//! Binary entry point for the E7 G(n,p) experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::gnp::GnpExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { GnpExperiment::quick() } else { GnpExperiment::full() };
+    println!("{}", experiment.run().render());
+}

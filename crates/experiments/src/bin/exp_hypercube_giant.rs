@@ -1,0 +1,12 @@
+//! Binary entry point for the E8a hypercube giant component experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::hypercube_giant::HypercubeGiantExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { HypercubeGiantExperiment::quick() } else { HypercubeGiantExperiment::full() };
+    println!("{}", experiment.run().render());
+}

@@ -1,0 +1,12 @@
+//! Binary entry point for the E2 hypercube lower bound experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::hypercube_lower_bound::HypercubeLowerBoundExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { HypercubeLowerBoundExperiment::quick() } else { HypercubeLowerBoundExperiment::full() };
+    println!("{}", experiment.run().render());
+}

@@ -1,0 +1,12 @@
+//! Binary entry point for the E1/E3 hypercube transition experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::hypercube_transition::HypercubeTransitionExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { HypercubeTransitionExperiment::quick() } else { HypercubeTransitionExperiment::full() };
+    println!("{}", experiment.run().render());
+}

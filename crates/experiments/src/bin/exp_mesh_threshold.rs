@@ -1,0 +1,12 @@
+//! Binary entry point for the E8b mesh thresholds experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::mesh_threshold::MeshThresholdExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { MeshThresholdExperiment::quick() } else { MeshThresholdExperiment::full() };
+    println!("{}", experiment.run().render());
+}

@@ -1,0 +1,12 @@
+//! Binary entry point for the E9 open questions experiment.
+//!
+//! Pass `--quick` for the reduced configuration used by tests and benches;
+//! the default is the full configuration recorded in EXPERIMENTS.md.
+
+use faultnet_experiments::open_questions::OpenQuestionsExperiment;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick { OpenQuestionsExperiment::quick() } else { OpenQuestionsExperiment::full() };
+    println!("{}", experiment.run().render());
+}

@@ -1,0 +1,88 @@
+//! Runs every experiment in sequence and prints the combined report.
+//!
+//! `run-all-experiments [--quick] [--markdown]`
+//!
+//! * `--quick` uses the reduced configurations (seconds per experiment);
+//!   the default is the full configurations recorded in EXPERIMENTS.md.
+//! * `--markdown` emits Markdown instead of plain text (used to refresh
+//!   EXPERIMENTS.md).
+
+use faultnet_experiments::{
+    ablation::AblationExperiment, chemical_distance::ChemicalDistanceExperiment,
+    double_tree::DoubleTreeExperiment, gnp::GnpExperiment,
+    hypercube_giant::HypercubeGiantExperiment, hypercube_lower_bound::HypercubeLowerBoundExperiment,
+    hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
+    mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment,
+    ExperimentReport,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let markdown = std::env::args().any(|a| a == "--markdown");
+
+    let reports: Vec<ExperimentReport> = vec![
+        if quick {
+            HypercubeTransitionExperiment::quick().run()
+        } else {
+            HypercubeTransitionExperiment::full().run()
+        },
+        if quick {
+            HypercubeLowerBoundExperiment::quick().run()
+        } else {
+            HypercubeLowerBoundExperiment::full().run()
+        },
+        if quick {
+            MeshRoutingExperiment::quick().run()
+        } else {
+            MeshRoutingExperiment::full().run()
+        },
+        if quick {
+            ChemicalDistanceExperiment::quick().run()
+        } else {
+            ChemicalDistanceExperiment::full().run()
+        },
+        if quick {
+            DoubleTreeExperiment::quick().run()
+        } else {
+            DoubleTreeExperiment::full().run()
+        },
+        if quick {
+            GnpExperiment::quick().run()
+        } else {
+            GnpExperiment::full().run()
+        },
+        if quick {
+            HypercubeGiantExperiment::quick().run()
+        } else {
+            HypercubeGiantExperiment::full().run()
+        },
+        if quick {
+            MeshThresholdExperiment::quick().run()
+        } else {
+            MeshThresholdExperiment::full().run()
+        },
+        if quick {
+            OpenQuestionsExperiment::quick().run()
+        } else {
+            OpenQuestionsExperiment::full().run()
+        },
+        if quick {
+            AblationExperiment::quick().run()
+        } else {
+            AblationExperiment::full().run()
+        },
+    ];
+
+    for report in &reports {
+        if markdown {
+            println!("{}", report.render_markdown());
+        } else {
+            println!("{}", report.render());
+        }
+    }
+    eprintln!(
+        "ran {} experiments ({} mode)",
+        reports.len(),
+        if quick { "quick" } else { "full" }
+    );
+}

@@ -1,0 +1,169 @@
+//! E8a — background structure of `H_{n,p}`: the giant-component threshold at
+//! `p ≈ 1/n` (Ajtai–Komlós–Szemerédi) and the connectivity threshold at
+//! `p = 1/2` (Erdős–Spencer), both quoted in §1.2/§1.3 of the paper and used
+//! to frame where routing is even meaningful.
+
+use faultnet_analysis::phase::crossing_point;
+use faultnet_analysis::table::{fmt_float, Table};
+use faultnet_percolation::components::ComponentCensus;
+use faultnet_percolation::PercolationConfig;
+use faultnet_topology::hypercube::Hypercube;
+
+use crate::report::{Effort, ExperimentReport};
+
+/// Giant fraction and connectivity probability of `H_{n,p}` at one `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HypercubePoint {
+    /// Retention probability.
+    pub p: f64,
+    /// Mean fraction of vertices in the largest component.
+    pub giant_fraction: f64,
+    /// Fraction of instances in which the whole cube was connected.
+    pub connectivity: f64,
+}
+
+/// Measures giant fraction and connectivity of `H_{n,p}` over `trials`
+/// instances.
+pub fn measure_hypercube_point(
+    dimension: u32,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+) -> HypercubePoint {
+    let cube = Hypercube::new(dimension);
+    let mut giant_total = 0.0;
+    let mut connected_count = 0u32;
+    for t in 0..trials {
+        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
+        let census = ComponentCensus::compute(&cube, &cfg.sampler());
+        giant_total += census.giant_fraction();
+        if census.num_components() == 1 {
+            connected_count += 1;
+        }
+    }
+    HypercubePoint {
+        p,
+        giant_fraction: giant_total / trials as f64,
+        connectivity: connected_count as f64 / trials as f64,
+    }
+}
+
+/// The E8a experiment.
+#[derive(Debug, Clone)]
+pub struct HypercubeGiantExperiment {
+    /// Hypercube dimensions.
+    pub dimensions: Vec<u32>,
+    /// Multipliers `c` for the giant-component scan at `p = c/n`.
+    pub giant_multipliers: Vec<f64>,
+    /// Probabilities for the connectivity scan (around 1/2).
+    pub connectivity_ps: Vec<f64>,
+    /// Trials per point.
+    pub trials: u32,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl HypercubeGiantExperiment {
+    /// Configuration at the requested effort level.
+    pub fn with_effort(effort: Effort) -> Self {
+        HypercubeGiantExperiment {
+            dimensions: effort.pick(vec![10], vec![12, 14]),
+            giant_multipliers: vec![0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0],
+            connectivity_ps: vec![0.30, 0.40, 0.45, 0.50, 0.55, 0.60, 0.70],
+            trials: effort.pick(6, 30),
+            base_seed: 0xFA03,
+        }
+    }
+
+    /// Quick configuration (seconds) for tests and benches.
+    pub fn quick() -> Self {
+        Self::with_effort(Effort::Quick)
+    }
+
+    /// Full configuration used to produce EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Self::with_effort(Effort::Full)
+    }
+
+    /// Runs the experiment and assembles the report.
+    pub fn run(&self) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E8a: hypercube giant component and connectivity thresholds",
+            "§1.2 background — giant component at p ≈ 1/n (AKS 82), connectivity at p = 1/2",
+        );
+        for &n in &self.dimensions {
+            // Giant-component scan at p = c/n.
+            let mut giant_table = Table::new(["c (p = c/n)", "p", "giant fraction"])
+                .with_title(format!("H_{{{n},p}} giant component scan ({} trials)", self.trials));
+            let mut giant_curve = Vec::new();
+            for (i, &c) in self.giant_multipliers.iter().enumerate() {
+                let p = (c / n as f64).min(1.0);
+                let point =
+                    measure_hypercube_point(n, p, self.trials, self.base_seed + i as u64 * 31);
+                giant_table.push_row([
+                    format!("{c:.2}"),
+                    fmt_float(p),
+                    fmt_float(point.giant_fraction),
+                ]);
+                giant_curve.push((c, point.giant_fraction));
+            }
+            report.push_table(giant_table);
+            if let Some(c_star) = crossing_point(&giant_curve, 0.25) {
+                report.push_note(format!(
+                    "n = {n}: giant fraction crosses 0.25 at c ≈ {c_star:.2} (paper/AKS predict a giant component for c > 1)"
+                ));
+            }
+
+            // Connectivity scan around p = 1/2.
+            let mut conn_table = Table::new(["p", "giant fraction", "Pr[connected]"])
+                .with_title(format!("H_{{{n},p}} connectivity scan ({} trials)", self.trials));
+            let mut conn_curve = Vec::new();
+            for (i, &p) in self.connectivity_ps.iter().enumerate() {
+                let point =
+                    measure_hypercube_point(n, p, self.trials, self.base_seed + 991 + i as u64);
+                conn_table.push_row([
+                    format!("{p:.2}"),
+                    fmt_float(point.giant_fraction),
+                    fmt_float(point.connectivity),
+                ]);
+                conn_curve.push((p, point.connectivity));
+            }
+            report.push_table(conn_table);
+            if let Some(p_star) = crossing_point(&conn_curve, 0.5) {
+                report.push_note(format!(
+                    "n = {n}: connectivity probability crosses 1/2 at p ≈ {p_star:.2} (Erdős–Spencer predict p = 0.5 asymptotically)"
+                ));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn giant_fraction_transitions_around_one_over_n() {
+        let sub = measure_hypercube_point(10, 0.25 / 10.0, 6, 1);
+        let sup = measure_hypercube_point(10, 3.0 / 10.0, 6, 1);
+        assert!(sub.giant_fraction < 0.2, "subcritical {}", sub.giant_fraction);
+        assert!(sup.giant_fraction > 0.4, "supercritical {}", sup.giant_fraction);
+    }
+
+    #[test]
+    fn connectivity_transitions_around_one_half() {
+        let below = measure_hypercube_point(10, 0.35, 6, 2);
+        let above = measure_hypercube_point(10, 0.65, 6, 2);
+        assert!(below.connectivity < above.connectivity + 1e-9);
+        assert!(above.connectivity > 0.5);
+    }
+
+    #[test]
+    fn quick_report_renders() {
+        let report = HypercubeGiantExperiment::quick().run();
+        assert_eq!(report.tables().len(), 2);
+        assert!(!report.notes().is_empty());
+        assert!(report.render().contains("giant"));
+    }
+}

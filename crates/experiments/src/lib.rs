@@ -1,0 +1,41 @@
+//! Reproducible experiments for every result of *Routing Complexity of
+//! Faulty Networks*.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems rather
+//! than benchmark tables. Each experiment in this crate therefore regenerates
+//! the finite-size table/figure that exhibits one theorem's predicted shape
+//! (see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured comparison):
+//!
+//! | Experiment | Paper result | Module |
+//! |---|---|---|
+//! | E1/E3 | Theorem 3 — hypercube routing phase transition at `α = 1/2` | [`hypercube_transition`] |
+//! | E2 | Theorem 3(i)/Lemma 5 — cut lower bound vs. measured cost | [`hypercube_lower_bound`] |
+//! | E4 | Theorem 4 — `O(n)` mesh routing above `p_c` | [`mesh_routing`] |
+//! | E5 | Lemma 8 — chemical distance is linear above `p_c` | [`chemical_distance`] |
+//! | E6 | Lemma 6 + Theorems 7, 9 — double tree local vs. oracle | [`double_tree`] |
+//! | E7 | Theorems 10, 11 — `G(n,p)` local `n²` vs. oracle `n^{3/2}` | [`gnp`] |
+//! | E8 | background thresholds (hypercube giant/connectivity, mesh `p_c`) | [`hypercube_giant`], [`mesh_threshold`] |
+//! | E9 | §6 open questions — constant-degree families | [`open_questions`] |
+//! | E10 | design-choice ablations | [`ablation`] |
+//!
+//! Each module exposes an experiment struct with `quick()` (seconds; used by
+//! tests and Criterion benches) and `full()` (minutes; used by the `exp-*`
+//! binaries) constructors and a `run()` method producing an
+//! [`report::ExperimentReport`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod chemical_distance;
+pub mod double_tree;
+pub mod gnp;
+pub mod hypercube_giant;
+pub mod hypercube_lower_bound;
+pub mod hypercube_transition;
+pub mod mesh_routing;
+pub mod mesh_threshold;
+pub mod open_questions;
+pub mod report;
+
+pub use report::{Effort, ExperimentReport};

@@ -1,0 +1,185 @@
+//! Shared experiment-report plumbing.
+
+use std::fmt;
+
+use faultnet_analysis::table::Table;
+
+/// How much work an experiment should do.
+///
+/// `Quick` keeps every experiment in the seconds range so the integration
+/// tests and Criterion benches stay fast; `Full` is what the `exp-*` binaries
+/// run to produce the numbers recorded in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small sizes and few trials (seconds).
+    Quick,
+    /// The sizes and trial counts used for EXPERIMENTS.md (minutes).
+    Full,
+}
+
+impl Effort {
+    /// Picks between a quick and a full value.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Effort::Quick => quick,
+            Effort::Full => full,
+        }
+    }
+}
+
+impl fmt::Display for Effort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Effort::Quick => write!(f, "quick"),
+            Effort::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// The rendered outcome of one experiment: tables, ASCII figures, and notes
+/// (fitted exponents, estimated thresholds, conclusions).
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    name: String,
+    paper_reference: String,
+    tables: Vec<Table>,
+    figures: Vec<String>,
+    notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report for the experiment `name`, citing the paper
+    /// result it reproduces.
+    pub fn new(name: impl Into<String>, paper_reference: impl Into<String>) -> Self {
+        ExperimentReport {
+            name: name.into(),
+            paper_reference: paper_reference.into(),
+            tables: Vec::new(),
+            figures: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The experiment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The paper result (theorem/lemma/section) this experiment reproduces.
+    pub fn paper_reference(&self) -> &str {
+        &self.paper_reference
+    }
+
+    /// Adds a result table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Adds a rendered ASCII figure.
+    pub fn push_figure(&mut self, figure: String) {
+        self.figures.push(figure);
+    }
+
+    /// Adds a free-form note (fitted exponent, estimated threshold, verdict).
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// The result tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The rendered figures.
+    pub fn figures(&self) -> &[String] {
+        &self.figures
+    }
+
+    /// The notes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Renders the whole report as terminal-friendly text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} ===\n", self.name));
+        out.push_str(&format!("reproduces: {}\n\n", self.paper_reference));
+        for table in &self.tables {
+            out.push_str(&table.to_text());
+            out.push('\n');
+        }
+        for figure in &self.figures {
+            out.push_str(figure);
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str("notes:\n");
+            for note in &self.notes {
+                out.push_str(&format!("  - {note}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the report as Markdown (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.name));
+        out.push_str(&format!("*Reproduces:* {}\n\n", self.paper_reference));
+        for table in &self.tables {
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+        for figure in &self.figures {
+            out.push_str("```text\n");
+            out.push_str(figure);
+            out.push_str("```\n\n");
+        }
+        for note in &self.notes {
+            out.push_str(&format!("- {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_pick_and_display() {
+        assert_eq!(Effort::Quick.pick(1, 2), 1);
+        assert_eq!(Effort::Full.pick(1, 2), 2);
+        assert_eq!(Effort::Quick.to_string(), "quick");
+        assert_eq!(Effort::Full.to_string(), "full");
+    }
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut report = ExperimentReport::new("E1 demo", "Theorem 3");
+        let mut table = Table::new(["a", "b"]);
+        table.push_row(["1", "2"]);
+        report.push_table(table);
+        report.push_figure("fig\n".to_string());
+        report.push_note("slope = 2.0");
+        assert_eq!(report.name(), "E1 demo");
+        assert_eq!(report.paper_reference(), "Theorem 3");
+        assert_eq!(report.tables().len(), 1);
+        assert_eq!(report.figures().len(), 1);
+        assert_eq!(report.notes().len(), 1);
+        let text = report.render();
+        assert!(text.contains("=== E1 demo ==="));
+        assert!(text.contains("slope = 2.0"));
+        assert_eq!(report.to_string(), text);
+        let md = report.render_markdown();
+        assert!(md.contains("### E1 demo"));
+        assert!(md.contains("```text"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Chemical-distance (percolation distance) measurements.
+//!
+//! Lemma 8 of the paper restates the Antal–Pisztora theorem: above the
+//! critical probability of the `d`-dimensional mesh, the chemical distance
+//! `D(x, y)` between connected vertices is at most `ρ · d(x, y)` except with
+//! probability exponentially small in `d(x, y)`. The mesh routing algorithm
+//! of Theorem 4 relies on exactly this linear-stretch property. The paper
+//! *uses* the theorem; the reproduction *measures* it, which is the
+//! substitution documented in DESIGN.md.
+
+use faultnet_topology::{Topology, VertexId};
+
+use crate::bfs::percolation_distance;
+use crate::sample::EdgeStates;
+use crate::PercolationConfig;
+
+/// One chemical-distance observation for a connected pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchSample {
+    /// Graph (fault-free) distance between the pair.
+    pub graph_distance: u64,
+    /// Chemical (open-subgraph) distance between the pair.
+    pub chemical_distance: u64,
+}
+
+impl StretchSample {
+    /// The stretch ratio `D(x, y) / d(x, y)`; defined as 1 for coincident
+    /// vertices.
+    pub fn stretch(&self) -> f64 {
+        if self.graph_distance == 0 {
+            1.0
+        } else {
+            self.chemical_distance as f64 / self.graph_distance as f64
+        }
+    }
+}
+
+/// Measures the chemical distance between `u` and `v` in one percolation
+/// instance. Returns `None` if the pair is not connected (the conditioning
+/// event of Definition 2 fails) or if the topology has no closed-form
+/// distance.
+pub fn stretch_for_pair<T: Topology, S: EdgeStates>(
+    graph: &T,
+    states: &S,
+    u: VertexId,
+    v: VertexId,
+) -> Option<StretchSample> {
+    let graph_distance = graph.distance(u, v)?;
+    let chemical_distance = percolation_distance(graph, states, u, v)?;
+    Some(StretchSample {
+        graph_distance,
+        chemical_distance,
+    })
+}
+
+/// Collects stretch samples for a fixed pair over many independent
+/// percolation instances (skipping instances where the pair is disconnected).
+pub fn stretch_samples_over_instances<T: Topology>(
+    graph: &T,
+    u: VertexId,
+    v: VertexId,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+) -> Vec<StretchSample> {
+    let mut out = Vec::new();
+    for t in 0..trials {
+        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
+        if let Some(sample) = stretch_for_pair(graph, &cfg.sampler(), u, v) {
+            out.push(sample);
+        }
+    }
+    out
+}
+
+/// Summary of a set of stretch samples: how far the chemical metric deviates
+/// from the underlying graph metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchSummary {
+    /// Number of connected observations.
+    pub samples: usize,
+    /// Mean stretch ratio.
+    pub mean: f64,
+    /// Maximum stretch ratio observed.
+    pub max: f64,
+    /// Fraction of instances in which the pair was connected at all.
+    pub connectivity_rate: f64,
+}
+
+/// Summarises stretch over many instances for one pair.
+pub fn stretch_summary<T: Topology>(
+    graph: &T,
+    u: VertexId,
+    v: VertexId,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+) -> StretchSummary {
+    let samples = stretch_samples_over_instances(graph, u, v, p, trials, base_seed);
+    let n = samples.len();
+    let mean = if n == 0 {
+        f64::NAN
+    } else {
+        samples.iter().map(StretchSample::stretch).sum::<f64>() / n as f64
+    };
+    let max = samples
+        .iter()
+        .map(StretchSample::stretch)
+        .fold(f64::NEG_INFINITY, f64::max);
+    StretchSummary {
+        samples: n,
+        mean,
+        max: if n == 0 { f64::NAN } else { max },
+        connectivity_rate: n as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultnet_topology::{mesh::Mesh, torus::Torus};
+
+    #[test]
+    fn fully_open_graph_has_stretch_one() {
+        let mesh = Mesh::new(2, 10);
+        let (u, v) = mesh.canonical_pair();
+        let cfg = PercolationConfig::new(1.0, 0);
+        let s = stretch_for_pair(&mesh, &cfg.sampler(), u, v).unwrap();
+        assert_eq!(s.graph_distance, 18);
+        assert_eq!(s.chemical_distance, 18);
+        assert_eq!(s.stretch(), 1.0);
+    }
+
+    #[test]
+    fn stretch_is_at_least_one() {
+        let torus = Torus::new(2, 12);
+        let (u, v) = torus.canonical_pair();
+        for seed in 0..5 {
+            let cfg = PercolationConfig::new(0.7, seed);
+            if let Some(s) = stretch_for_pair(&torus, &cfg.sampler(), u, v) {
+                assert!(s.stretch() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pair_gives_none() {
+        let mesh = Mesh::new(2, 6);
+        let (u, v) = mesh.canonical_pair();
+        let cfg = PercolationConfig::new(0.0, 0);
+        assert!(stretch_for_pair(&mesh, &cfg.sampler(), u, v).is_none());
+    }
+
+    #[test]
+    fn coincident_pair_has_unit_stretch() {
+        let s = StretchSample {
+            graph_distance: 0,
+            chemical_distance: 0,
+        };
+        assert_eq!(s.stretch(), 1.0);
+    }
+
+    #[test]
+    fn summary_far_above_threshold_has_small_stretch() {
+        // p = 0.85 on a 2-d torus: stretch should be close to 1 and the pair
+        // essentially always connected.
+        let torus = Torus::new(2, 14);
+        let (u, v) = torus.canonical_pair();
+        let summary = stretch_summary(&torus, u, v, 0.85, 20, 9);
+        assert!(summary.connectivity_rate > 0.8, "{summary:?}");
+        assert!(summary.mean < 1.6, "{summary:?}");
+        assert!(summary.max < 2.5, "{summary:?}");
+        assert!(summary.samples >= 16);
+    }
+
+    #[test]
+    fn summary_handles_fully_disconnected_case() {
+        let mesh = Mesh::new(2, 5);
+        let (u, v) = mesh.canonical_pair();
+        let summary = stretch_summary(&mesh, u, v, 0.0, 4, 0);
+        assert_eq!(summary.samples, 0);
+        assert_eq!(summary.connectivity_rate, 0.0);
+        assert!(summary.mean.is_nan());
+    }
+
+    #[test]
+    fn stretch_decreases_as_p_increases() {
+        let torus = Torus::new(2, 12);
+        let (u, v) = torus.canonical_pair();
+        let low = stretch_summary(&torus, u, v, 0.65, 30, 4);
+        let high = stretch_summary(&torus, u, v, 0.95, 30, 4);
+        assert!(high.mean <= low.mean + 0.2, "low {low:?} high {high:?}");
+        assert!(high.connectivity_rate >= low.connectivity_rate);
+    }
+}

@@ -1,0 +1,216 @@
+//! Connected-component census of a percolation instance.
+//!
+//! The paper conditions every routing-complexity statement on the existence
+//! of a giant component (`Θ(|V|)` vertices) and on the two endpoints lying in
+//! it. This module computes exact component structure for a given instance:
+//! the giant fraction, the component of a vertex, and the component size
+//! distribution.
+
+use std::collections::HashMap;
+
+use faultnet_topology::{Topology, VertexId};
+
+use crate::sample::EdgeStates;
+use crate::union_find::UnionFind;
+
+/// The result of a full component census over one percolation instance.
+#[derive(Debug, Clone)]
+pub struct ComponentCensus {
+    /// Component label (root id) per vertex, indexed by vertex id.
+    component_of: Vec<u64>,
+    /// Sizes keyed by component label.
+    sizes: HashMap<u64, u64>,
+    num_vertices: u64,
+}
+
+impl ComponentCensus {
+    /// Computes the components of `graph` under the edge states `states`.
+    ///
+    /// Runs in `O(|V| + |E| α(|V|))` time and `O(|V|)` memory, so it is meant
+    /// for graphs whose vertex set fits comfortably in memory (everything the
+    /// experiments use; the largest hypercubes have ~10⁶ vertices).
+    pub fn compute<T: Topology, S: EdgeStates>(graph: &T, states: &S) -> Self {
+        let n = graph.num_vertices();
+        let mut uf = UnionFind::new(n as usize);
+        for v in graph.vertices() {
+            for w in graph.neighbors(v) {
+                if v.0 < w.0 && states.is_open(faultnet_topology::EdgeId::new(v, w)) {
+                    uf.union(v.0 as usize, w.0 as usize);
+                }
+            }
+        }
+        let mut component_of = Vec::with_capacity(n as usize);
+        let mut sizes: HashMap<u64, u64> = HashMap::new();
+        for v in 0..n {
+            let root = uf.find(v as usize) as u64;
+            component_of.push(root);
+            *sizes.entry(root).or_insert(0) += 1;
+        }
+        ComponentCensus {
+            component_of,
+            sizes,
+            num_vertices: n,
+        }
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Number of connected components (isolated vertices count).
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The label of the component containing `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn component_of(&self, v: VertexId) -> u64 {
+        self.component_of[v.0 as usize]
+    }
+
+    /// Returns `true` if `u` and `v` lie in the same component.
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.component_of(u) == self.component_of(v)
+    }
+
+    /// Size of the component containing `v`.
+    pub fn component_size(&self, v: VertexId) -> u64 {
+        self.sizes[&self.component_of(v)]
+    }
+
+    /// Size of the largest component.
+    pub fn largest_component_size(&self) -> u64 {
+        self.sizes.values().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of all vertices lying in the largest component.
+    pub fn giant_fraction(&self) -> f64 {
+        self.largest_component_size() as f64 / self.num_vertices as f64
+    }
+
+    /// Returns `true` if `v` lies in (one of) the largest component(s).
+    pub fn in_giant(&self, v: VertexId) -> bool {
+        self.component_size(v) == self.largest_component_size()
+    }
+
+    /// The component sizes in descending order.
+    pub fn sizes_descending(&self) -> Vec<u64> {
+        let mut sizes: Vec<u64> = self.sizes.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// Size of the second largest component (0 if there is only one).
+    ///
+    /// The ratio between the largest and second largest component is the
+    /// standard finite-size diagnostic for "a giant component exists".
+    pub fn second_largest_component_size(&self) -> u64 {
+        let sizes = self.sizes_descending();
+        sizes.get(1).copied().unwrap_or(0)
+    }
+
+    /// All vertices of the largest component (ties broken by smallest label).
+    pub fn giant_component_vertices(&self) -> Vec<VertexId> {
+        let largest = self.largest_component_size();
+        let label = self
+            .sizes
+            .iter()
+            .filter(|(_, &s)| s == largest)
+            .map(|(&l, _)| l)
+            .min()
+            .unwrap_or(0);
+        (0..self.num_vertices)
+            .filter(|&v| self.component_of[v as usize] == label)
+            .map(VertexId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::FrozenSample;
+    use crate::PercolationConfig;
+    use faultnet_topology::{hypercube::Hypercube, mesh::Mesh, EdgeId};
+
+    #[test]
+    fn fully_open_graph_is_one_component() {
+        let cube = Hypercube::new(6);
+        let sampler = PercolationConfig::new(1.0, 0).sampler();
+        let census = ComponentCensus::compute(&cube, &sampler);
+        assert_eq!(census.num_components(), 1);
+        assert_eq!(census.largest_component_size(), 64);
+        assert_eq!(census.giant_fraction(), 1.0);
+        assert_eq!(census.second_largest_component_size(), 0);
+        assert!(census.in_giant(VertexId(17)));
+    }
+
+    #[test]
+    fn fully_closed_graph_is_all_singletons() {
+        let mesh = Mesh::new(2, 5);
+        let sampler = PercolationConfig::new(0.0, 0).sampler();
+        let census = ComponentCensus::compute(&mesh, &sampler);
+        assert_eq!(census.num_components(), 25);
+        assert_eq!(census.largest_component_size(), 1);
+        assert!((census.giant_fraction() - 1.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_built_components() {
+        // Path graph 0-1-2-3-4 with only edges {0,1} and {3,4} open.
+        let mesh = Mesh::new(1, 5);
+        let mut sample = FrozenSample::new();
+        sample.open_edge(EdgeId::new(VertexId(0), VertexId(1)));
+        sample.open_edge(EdgeId::new(VertexId(3), VertexId(4)));
+        let census = ComponentCensus::compute(&mesh, &sample);
+        assert_eq!(census.num_components(), 3);
+        assert!(census.same_component(VertexId(0), VertexId(1)));
+        assert!(census.same_component(VertexId(3), VertexId(4)));
+        assert!(!census.same_component(VertexId(1), VertexId(3)));
+        assert_eq!(census.component_size(VertexId(2)), 1);
+        assert_eq!(census.sizes_descending(), vec![2, 2, 1]);
+        assert_eq!(census.second_largest_component_size(), 2);
+    }
+
+    #[test]
+    fn giant_component_vertices_are_consistent() {
+        let cube = Hypercube::new(8);
+        let sampler = PercolationConfig::new(0.7, 21).sampler();
+        let census = ComponentCensus::compute(&cube, &sampler);
+        let giant = census.giant_component_vertices();
+        assert_eq!(giant.len() as u64, census.largest_component_size());
+        for v in giant.iter().take(50) {
+            assert!(census.in_giant(*v));
+        }
+    }
+
+    #[test]
+    fn supercritical_hypercube_has_a_giant_component() {
+        // p = 0.5 is far above the 1/n connectivity-of-giant threshold for n = 10.
+        let cube = Hypercube::new(10);
+        let sampler = PercolationConfig::new(0.5, 3).sampler();
+        let census = ComponentCensus::compute(&cube, &sampler);
+        assert!(
+            census.giant_fraction() > 0.5,
+            "giant fraction {}",
+            census.giant_fraction()
+        );
+    }
+
+    #[test]
+    fn subcritical_hypercube_fragments() {
+        // p well below 1/n: only tiny components.
+        let cube = Hypercube::new(10);
+        let sampler = PercolationConfig::new(0.02, 3).sampler();
+        let census = ComponentCensus::compute(&cube, &sampler);
+        assert!(
+            census.giant_fraction() < 0.05,
+            "giant fraction {}",
+            census.giant_fraction()
+        );
+    }
+}

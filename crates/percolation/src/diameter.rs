@@ -1,0 +1,137 @@
+//! Diameter estimation for the giant component of a percolation instance.
+//!
+//! Theorem 3 of the paper hinges on the observation that for
+//! `1/n ≪ p ≪ 1/√n` the giant component of the hypercube still has
+//! polynomial-in-`n` diameter even though finding paths is hard. The
+//! experiments therefore need to measure giant-component diameters. Exact
+//! all-pairs computation is quadratic, so we offer both an exact variant (for
+//! small graphs/tests) and the standard double-sweep lower bound combined
+//! with an eccentricity upper bound.
+
+use faultnet_topology::{Topology, VertexId};
+
+use crate::bfs::{bfs, BfsOptions};
+use crate::components::ComponentCensus;
+use crate::sample::EdgeStates;
+
+/// A diameter estimate for the giant component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiameterEstimate {
+    /// A certified lower bound (a realised open distance).
+    pub lower: u64,
+    /// An upper bound (`2 ×` the eccentricity of a sweep endpoint, capped by
+    /// the exact value when it was computed).
+    pub upper: u64,
+    /// Number of vertices in the component the estimate refers to.
+    pub component_size: u64,
+}
+
+impl DiameterEstimate {
+    /// Returns `true` if the bounds coincide (the estimate is exact).
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+/// Estimates the diameter of the giant component by the double-sweep
+/// heuristic: BFS from an arbitrary giant vertex, then BFS again from the
+/// farthest vertex found. The second sweep's eccentricity is a lower bound on
+/// the diameter and twice it is an upper bound.
+pub fn giant_component_diameter<T: Topology, S: EdgeStates>(
+    graph: &T,
+    states: &S,
+) -> Option<DiameterEstimate> {
+    let census = ComponentCensus::compute(graph, states);
+    let giant = census.giant_component_vertices();
+    let start = *giant.first()?;
+    let first = bfs(graph, states, start, BfsOptions::default());
+    let far = first.farthest_vertex();
+    let second = bfs(graph, states, far, BfsOptions::default());
+    let ecc = second.eccentricity();
+    Some(DiameterEstimate {
+        lower: ecc,
+        upper: 2 * ecc,
+        component_size: giant.len() as u64,
+    })
+}
+
+/// Computes the exact diameter of the component containing `seed` by running
+/// a BFS from every vertex of that component. Quadratic; intended for small
+/// graphs and tests.
+pub fn exact_component_diameter<T: Topology, S: EdgeStates>(
+    graph: &T,
+    states: &S,
+    seed: VertexId,
+) -> u64 {
+    let component = bfs(graph, states, seed, BfsOptions::default()).reached_vertices();
+    let mut best = 0;
+    for v in &component {
+        let ecc = bfs(graph, states, *v, BfsOptions::default()).eccentricity();
+        best = best.max(ecc);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PercolationConfig;
+    use faultnet_topology::{hypercube::Hypercube, mesh::Mesh};
+
+    #[test]
+    fn fully_open_hypercube_diameter_is_n() {
+        let cube = Hypercube::new(6);
+        let sampler = PercolationConfig::new(1.0, 0).sampler();
+        let est = giant_component_diameter(&cube, &sampler).unwrap();
+        assert_eq!(est.lower, 6);
+        assert!(est.upper >= 6);
+        assert_eq!(est.component_size, 64);
+        assert_eq!(exact_component_diameter(&cube, &sampler, VertexId(0)), 6);
+    }
+
+    #[test]
+    fn fully_open_grid_diameter() {
+        let mesh = Mesh::new(2, 5);
+        let sampler = PercolationConfig::new(1.0, 0).sampler();
+        assert_eq!(exact_component_diameter(&mesh, &sampler, VertexId(0)), 8);
+        let est = giant_component_diameter(&mesh, &sampler).unwrap();
+        assert_eq!(est.lower, 8);
+    }
+
+    #[test]
+    fn double_sweep_bounds_bracket_exact_diameter() {
+        let cube = Hypercube::new(8);
+        let sampler = PercolationConfig::new(0.6, 9).sampler();
+        let est = giant_component_diameter(&cube, &sampler).unwrap();
+        // exact diameter of the same (giant) component
+        let census = ComponentCensus::compute(&cube, &sampler);
+        let giant_vertex = census.giant_component_vertices()[0];
+        let exact = exact_component_diameter(&cube, &sampler, giant_vertex);
+        assert!(est.lower <= exact, "lower {} exact {exact}", est.lower);
+        assert!(est.upper >= exact, "upper {} exact {exact}", est.upper);
+    }
+
+    #[test]
+    fn closed_graph_gives_singleton_component() {
+        let mesh = Mesh::new(2, 4);
+        let sampler = PercolationConfig::new(0.0, 0).sampler();
+        let est = giant_component_diameter(&mesh, &sampler).unwrap();
+        assert_eq!(est.lower, 0);
+        assert_eq!(est.component_size, 1);
+        assert!(est.is_exact());
+    }
+
+    #[test]
+    fn percolated_diameter_exceeds_fault_free_diameter() {
+        // Removing edges can only increase distances within the surviving
+        // component (when it still spans far apart vertices).
+        let cube = Hypercube::new(9);
+        let sampler = PercolationConfig::new(0.55, 2).sampler();
+        let est = giant_component_diameter(&cube, &sampler).unwrap();
+        assert!(
+            est.lower >= 9,
+            "supercritical giant component should span the cube, got {}",
+            est.lower
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Assignment of open/closed states to edges.
+//!
+//! The paper's routing algorithms learn the percolation instance one probe at
+//! a time, while its analyses (giant component, chemical distance) look at
+//! the whole instance. Both views must agree, so the state of an edge is
+//! defined as a *pure function* of `(seed, edge id)`: a strong 64-bit mixer
+//! hashes the pair into a uniform variate which is compared against `p`.
+//!
+//! Two implementations are provided:
+//!
+//! * [`EdgeSampler`] — the lazy, O(1)-memory sampler described above; this is
+//!   what routers probe.
+//! * [`FrozenSample`] — an eagerly materialised set of open edges (useful
+//!   for dense analytics over small graphs and for tests that want to
+//!   manipulate individual edges).
+
+use std::collections::HashSet;
+
+use faultnet_topology::{EdgeId, Topology};
+
+use crate::PercolationConfig;
+
+/// Read-only access to the open/closed state of edges in one percolation
+/// instance.
+pub trait EdgeStates {
+    /// Returns `true` if `edge` survived (is open) in this instance.
+    fn is_open(&self, edge: EdgeId) -> bool;
+
+    /// Convenience wrapper: state of the edge `{a, b}` given its endpoints.
+    fn is_open_between(&self, a: faultnet_topology::VertexId, b: faultnet_topology::VertexId) -> bool {
+        self.is_open(EdgeId::new(a, b))
+    }
+}
+
+/// SplitMix64-style finalizer; full-period bijection on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic, lazily evaluated edge sampler.
+///
+/// The state of every edge is decided independently with probability `p`
+/// (approximated to 53 bits, far below any statistical resolution reachable
+/// by simulation) and is a pure function of the seed and the canonical edge
+/// id, so repeated queries — from any code path — always agree.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_percolation::{EdgeStates, PercolationConfig};
+/// use faultnet_topology::{EdgeId, VertexId};
+///
+/// let sampler = PercolationConfig::new(0.5, 7).sampler();
+/// let e = EdgeId::new(VertexId(1), VertexId(2));
+/// assert_eq!(sampler.is_open(e), sampler.is_open(e)); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeSampler {
+    config: PercolationConfig,
+}
+
+impl EdgeSampler {
+    /// Creates a sampler for the given configuration.
+    pub fn new(config: PercolationConfig) -> Self {
+        EdgeSampler { config }
+    }
+
+    /// The configuration this sampler realises.
+    pub fn config(&self) -> PercolationConfig {
+        self.config
+    }
+
+    /// The uniform variate in `[0, 1)` attached to `edge`; the edge is open
+    /// iff this value is `< p`. Exposed so that monotone-coupling arguments
+    /// (increase `p`, keep the seed) can be tested directly.
+    pub fn uniform(&self, edge: EdgeId) -> f64 {
+        let key = edge.key();
+        let lo = key as u64;
+        let hi = (key >> 64) as u64;
+        let mixed = mix64(
+            mix64(lo ^ self.config.seed().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ hi.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        // 53 significant bits -> uniform double in [0, 1).
+        (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl EdgeStates for EdgeSampler {
+    fn is_open(&self, edge: EdgeId) -> bool {
+        self.uniform(edge) < self.config.p()
+    }
+}
+
+/// An eagerly materialised percolation instance: the set of open edges of a
+/// specific topology.
+///
+/// `FrozenSample` is convenient when an analysis touches essentially every
+/// edge (component censuses on small graphs) or when a test needs to build a
+/// hand-crafted instance edge by edge.
+#[derive(Debug, Clone, Default)]
+pub struct FrozenSample {
+    open: HashSet<EdgeId>,
+}
+
+impl FrozenSample {
+    /// Creates an instance with no open edges.
+    pub fn new() -> Self {
+        FrozenSample::default()
+    }
+
+    /// Materialises the lazy sampler over all edges of `graph`.
+    pub fn from_sampler<T: Topology>(graph: &T, sampler: &EdgeSampler) -> Self {
+        let mut open = HashSet::new();
+        for e in graph.edges() {
+            if sampler.is_open(e) {
+                open.insert(e);
+            }
+        }
+        FrozenSample { open }
+    }
+
+    /// Builds an instance from an explicit list of open edges.
+    pub fn from_open_edges<I: IntoIterator<Item = EdgeId>>(edges: I) -> Self {
+        FrozenSample {
+            open: edges.into_iter().collect(),
+        }
+    }
+
+    /// Marks `edge` as open. Returns `true` if it was previously closed.
+    pub fn open_edge(&mut self, edge: EdgeId) -> bool {
+        self.open.insert(edge)
+    }
+
+    /// Marks `edge` as closed. Returns `true` if it was previously open.
+    pub fn close_edge(&mut self, edge: EdgeId) -> bool {
+        self.open.remove(&edge)
+    }
+
+    /// Number of open edges.
+    pub fn num_open(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Iterator over the open edges (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &EdgeId> {
+        self.open.iter()
+    }
+}
+
+impl EdgeStates for FrozenSample {
+    fn is_open(&self, edge: EdgeId) -> bool {
+        self.open.contains(&edge)
+    }
+}
+
+impl<S: EdgeStates + ?Sized> EdgeStates for &S {
+    fn is_open(&self, edge: EdgeId) -> bool {
+        (**self).is_open(edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultnet_topology::{hypercube::Hypercube, VertexId};
+
+    fn edge(a: u64, b: u64) -> EdgeId {
+        EdgeId::new(VertexId(a), VertexId(b))
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let s = PercolationConfig::new(0.4, 99).sampler();
+        for i in 0..100u64 {
+            let e = edge(i, i + 1);
+            assert_eq!(s.is_open(e), s.is_open(e));
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let all_closed = PercolationConfig::new(0.0, 5).sampler();
+        let all_open = PercolationConfig::new(1.0, 5).sampler();
+        for i in 0..200u64 {
+            let e = edge(i, i + 7);
+            assert!(!all_closed.is_open(e));
+            assert!(all_open.is_open(e));
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_p() {
+        let p = 0.3;
+        let s = PercolationConfig::new(p, 1234).sampler();
+        let trials = 20_000u64;
+        let open = (0..trials).filter(|&i| s.is_open(edge(i, i + 1))).count() as f64;
+        let freq = open / trials as f64;
+        assert!(
+            (freq - p).abs() < 0.02,
+            "frequency {freq} too far from p = {p}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_instances() {
+        let a = PercolationConfig::new(0.5, 1).sampler();
+        let b = PercolationConfig::new(0.5, 2).sampler();
+        let disagreements = (0..1000u64)
+            .filter(|&i| a.is_open(edge(i, i + 1)) != b.is_open(edge(i, i + 1)))
+            .count();
+        assert!(disagreements > 300, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn monotone_coupling_in_p() {
+        // Same seed: every edge open at p=0.3 must be open at p=0.6.
+        let lo = PercolationConfig::new(0.3, 77).sampler();
+        let hi = PercolationConfig::new(0.6, 77).sampler();
+        for i in 0..2000u64 {
+            let e = edge(i, 3 * i + 1);
+            if lo.is_open(e) {
+                assert!(hi.is_open(e));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_direction_independent() {
+        let s = PercolationConfig::new(0.5, 3).sampler();
+        let e1 = EdgeId::new(VertexId(10), VertexId(20));
+        let e2 = EdgeId::new(VertexId(20), VertexId(10));
+        assert_eq!(s.uniform(e1), s.uniform(e2));
+    }
+
+    #[test]
+    fn frozen_sample_matches_lazy_sampler() {
+        let cube = Hypercube::new(6);
+        let sampler = PercolationConfig::new(0.45, 8).sampler();
+        let frozen = FrozenSample::from_sampler(&cube, &sampler);
+        for e in cube.edges() {
+            assert_eq!(frozen.is_open(e), sampler.is_open(e));
+        }
+        let open_count = cube.edges().iter().filter(|e| sampler.is_open(**e)).count();
+        assert_eq!(frozen.num_open(), open_count);
+    }
+
+    #[test]
+    fn frozen_sample_manual_edits() {
+        let mut s = FrozenSample::new();
+        let e = edge(1, 2);
+        assert!(!s.is_open(e));
+        assert!(s.open_edge(e));
+        assert!(!s.open_edge(e));
+        assert!(s.is_open(e));
+        assert!(s.close_edge(e));
+        assert!(!s.is_open(e));
+        assert_eq!(s.num_open(), 0);
+    }
+
+    #[test]
+    fn edge_states_for_references() {
+        let s = PercolationConfig::new(1.0, 0).sampler();
+        let r: &dyn EdgeStates = &s;
+        assert!(r.is_open(edge(0, 1)));
+        assert!(r.is_open_between(VertexId(0), VertexId(1)));
+    }
+}

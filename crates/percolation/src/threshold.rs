@@ -1,0 +1,159 @@
+//! Critical-probability estimation.
+//!
+//! The mesh result (Theorem 4) applies for every `p > p_c^d`, and the
+//! background results the experiments reproduce include `p_c² = 1/2` for the
+//! two-dimensional mesh and the `1/n` giant-component threshold of the
+//! hypercube. This module estimates thresholds by Monte-Carlo evaluation of
+//! the giant-component fraction combined with bisection, exploiting the
+//! monotone coupling of [`crate::PercolationConfig::with_p`] (the same seed
+//! reuses the same underlying uniforms, so the fraction is monotone in `p`
+//! sample by sample and the bisection is well behaved).
+
+use faultnet_topology::Topology;
+
+use crate::components::ComponentCensus;
+use crate::PercolationConfig;
+
+/// Mean giant-component fraction of `graph` at probability `p`, averaged over
+/// `trials` independent instances derived from `base_seed`.
+pub fn mean_giant_fraction<T: Topology>(
+    graph: &T,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+) -> f64 {
+    assert!(trials > 0, "at least one trial is required");
+    let mut total = 0.0;
+    for t in 0..trials {
+        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
+        let census = ComponentCensus::compute(graph, &cfg.sampler());
+        total += census.giant_fraction();
+    }
+    total / trials as f64
+}
+
+/// One point of a giant-fraction sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Retention probability at which the fraction was measured.
+    pub p: f64,
+    /// Mean giant-component fraction over the trials.
+    pub giant_fraction: f64,
+}
+
+/// Evaluates the mean giant fraction at each probability in `ps`.
+pub fn giant_fraction_sweep<T: Topology>(
+    graph: &T,
+    ps: &[f64],
+    trials: u32,
+    base_seed: u64,
+) -> Vec<SweepPoint> {
+    ps.iter()
+        .map(|&p| SweepPoint {
+            p,
+            giant_fraction: mean_giant_fraction(graph, p, trials, base_seed),
+        })
+        .collect()
+}
+
+/// Estimates the probability at which the mean giant fraction first exceeds
+/// `target_fraction`, by bisection to within `tolerance`.
+///
+/// This is the standard finite-size proxy for the percolation threshold: for
+/// a fixed finite graph the giant fraction is a smooth increasing function of
+/// `p`, and the crossing point of a fixed level (e.g. 0.2) converges to `p_c`
+/// as the graph grows.
+///
+/// # Panics
+///
+/// Panics if `target_fraction` is not in `(0, 1)` or `tolerance` is not
+/// positive.
+pub fn estimate_threshold<T: Topology>(
+    graph: &T,
+    target_fraction: f64,
+    trials: u32,
+    tolerance: f64,
+    base_seed: u64,
+) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&target_fraction) && target_fraction > 0.0,
+        "target fraction must be in (0, 1)"
+    );
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while hi - lo > tolerance {
+        let mid = 0.5 * (lo + hi);
+        if mean_giant_fraction(graph, mid, trials, base_seed) >= target_fraction {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultnet_topology::{complete::CompleteGraph, hypercube::Hypercube, mesh::Mesh, torus::Torus};
+
+    #[test]
+    fn giant_fraction_is_monotone_in_p() {
+        let cube = Hypercube::new(8);
+        let f_low = mean_giant_fraction(&cube, 0.1, 5, 42);
+        let f_mid = mean_giant_fraction(&cube, 0.3, 5, 42);
+        let f_high = mean_giant_fraction(&cube, 0.8, 5, 42);
+        assert!(f_low <= f_mid + 1e-9);
+        assert!(f_mid <= f_high + 1e-9);
+        assert!(f_high > 0.9);
+    }
+
+    #[test]
+    fn sweep_returns_requested_points() {
+        let mesh = Mesh::new(2, 8);
+        let ps = [0.2, 0.5, 0.8];
+        let sweep = giant_fraction_sweep(&mesh, &ps, 3, 7);
+        assert_eq!(sweep.len(), 3);
+        for (point, p) in sweep.iter().zip(ps) {
+            assert_eq!(point.p, p);
+            assert!((0.0..=1.0).contains(&point.giant_fraction));
+        }
+    }
+
+    #[test]
+    fn two_dimensional_threshold_is_near_one_half() {
+        // p_c = 1/2 for the 2-d square lattice; a 24x24 torus gives a crude
+        // but stable finite-size estimate.
+        let torus = Torus::new(2, 24);
+        let est = estimate_threshold(&torus, 0.25, 4, 0.02, 11);
+        assert!(
+            (0.35..0.65).contains(&est),
+            "2-d threshold estimate {est} too far from 0.5"
+        );
+    }
+
+    #[test]
+    fn complete_graph_threshold_is_near_one_over_n() {
+        // G(n, p) has a giant component for p > 1/n; with n = 200 the
+        // threshold estimate should be well below 0.05.
+        let k = CompleteGraph::new(200);
+        let est = estimate_threshold(&k, 0.2, 3, 0.005, 5);
+        assert!(est < 0.05, "G(n,p) threshold estimate {est} too large");
+        assert!(est > 0.001, "G(n,p) threshold estimate {est} too small");
+    }
+
+    #[test]
+    #[should_panic(expected = "target fraction")]
+    fn bad_target_rejected() {
+        let mesh = Mesh::new(2, 4);
+        let _ = estimate_threshold(&mesh, 1.5, 1, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let mesh = Mesh::new(2, 4);
+        let _ = mean_giant_fraction(&mesh, 0.5, 0, 0);
+    }
+}

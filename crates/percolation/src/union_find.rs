@@ -1,0 +1,188 @@
+//! Disjoint-set (union–find) structure used by the component census.
+//!
+//! Weighted union by size with path compression; amortised near-constant
+//! operations, which keeps whole-graph component censuses linear in the
+//! number of edges.
+
+/// A union–find structure over the dense universe `0 .. len`.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_percolation::union_find::UnionFind;
+///
+/// let mut uf = UnionFind::new(5);
+/// uf.union(0, 1);
+/// uf.union(3, 4);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 3));
+/// assert_eq!(uf.num_sets(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates a structure with `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len).collect(),
+            size: vec![1; len],
+            num_sets: len,
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// The canonical representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element {x} out of range");
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+
+    /// Size of the largest set.
+    pub fn largest_set_size(&mut self) -> usize {
+        if self.parent.is_empty() {
+            return 0;
+        }
+        (0..self.parent.len())
+            .map(|i| {
+                let root = self.find(i);
+                self.size[root]
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_sets(), 4);
+        assert_eq!(uf.len(), 4);
+        assert!(!uf.is_empty());
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already together
+        assert_eq!(uf.num_sets(), 4);
+        assert_eq!(uf.set_size(2), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 5));
+    }
+
+    #[test]
+    fn largest_set_size_tracks_unions() {
+        let mut uf = UnionFind::new(10);
+        assert_eq!(uf.largest_set_size(), 1);
+        for i in 0..4 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.largest_set_size(), 5);
+        uf.union(7, 8);
+        assert_eq!(uf.largest_set_size(), 5);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.connected(0, 99));
+        assert_eq!(uf.set_size(42), 100);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+        assert_eq!(uf.largest_set_size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn find_out_of_range_panics() {
+        let mut uf = UnionFind::new(3);
+        let _ = uf.find(3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the percolation substrate.
+
+use faultnet_percolation::{
+    bfs::{bfs, percolation_distance, shortest_open_path, BfsOptions},
+    branching::{root_to_leaf_probability, survival_probability},
+    components::ComponentCensus,
+    sample::{EdgeStates, FrozenSample},
+    union_find::UnionFind,
+    PercolatedGraph, PercolationConfig,
+};
+use faultnet_topology::{hypercube::Hypercube, mesh::Mesh, EdgeId, Topology, VertexId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sampler_agrees_with_itself_and_frozen_copy(p in 0.0f64..1.0, seed in any::<u64>()) {
+        let cube = Hypercube::new(5);
+        let sampler = PercolationConfig::new(p, seed).sampler();
+        let frozen = FrozenSample::from_sampler(&cube, &sampler);
+        for e in cube.edges() {
+            prop_assert_eq!(sampler.is_open(e), sampler.is_open(e));
+            prop_assert_eq!(sampler.is_open(e), frozen.is_open(e));
+        }
+    }
+
+    #[test]
+    fn monotone_coupling_over_whole_graph(p1 in 0.0f64..1.0, p2 in 0.0f64..1.0, seed in any::<u64>()) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let cube = Hypercube::new(5);
+        let s_lo = PercolationConfig::new(lo, seed).sampler();
+        let s_hi = PercolationConfig::new(hi, seed).sampler();
+        for e in cube.edges() {
+            if s_lo.is_open(e) {
+                prop_assert!(s_hi.is_open(e));
+            }
+        }
+    }
+
+    #[test]
+    fn giant_fraction_monotone_under_coupling(seed in any::<u64>()) {
+        let cube = Hypercube::new(7);
+        let f_lo = ComponentCensus::compute(&cube, &PercolationConfig::new(0.2, seed).sampler())
+            .giant_fraction();
+        let f_hi = ComponentCensus::compute(&cube, &PercolationConfig::new(0.6, seed).sampler())
+            .giant_fraction();
+        prop_assert!(f_lo <= f_hi + 1e-12);
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent_with_components(p in 0.2f64..0.9, seed in any::<u64>()) {
+        let mesh = Mesh::new(2, 6);
+        let sampler = PercolationConfig::new(p, seed).sampler();
+        let census = ComponentCensus::compute(&mesh, &sampler);
+        let (u, v) = mesh.canonical_pair();
+        let dist = percolation_distance(&mesh, &sampler, u, v);
+        prop_assert_eq!(dist.is_some(), census.same_component(u, v));
+        if let Some(d) = dist {
+            // chemical distance dominates the graph metric
+            prop_assert!(d >= mesh.distance(u, v).unwrap());
+            // and any returned path realises it exactly
+            let path = shortest_open_path(&mesh, &sampler, u, v).unwrap();
+            let gp = PercolatedGraph::new(&mesh, &sampler);
+            prop_assert!(gp.is_open_path(&path));
+            prop_assert_eq!(path.len() as u64, d + 1);
+        }
+    }
+
+    #[test]
+    fn bfs_ball_respects_max_depth(p in 0.3f64..1.0, seed in any::<u64>(), radius in 0u64..4) {
+        let cube = Hypercube::new(6);
+        let sampler = PercolationConfig::new(p, seed).sampler();
+        let tree = bfs(&cube, &sampler, VertexId(0), BfsOptions { max_depth: Some(radius), target: None });
+        for v in tree.reached_vertices() {
+            prop_assert!(tree.distance_to(v).unwrap() <= radius);
+        }
+    }
+
+    #[test]
+    fn union_find_is_an_equivalence_relation(ops in proptest::collection::vec((0usize..20, 0usize..20), 0..40)) {
+        let mut uf = UnionFind::new(20);
+        for (a, b) in &ops {
+            uf.union(*a, *b);
+        }
+        // reflexive and symmetric
+        for i in 0..20 {
+            prop_assert!(uf.connected(i, i));
+        }
+        for (a, b) in &ops {
+            prop_assert!(uf.connected(*a, *b));
+            prop_assert!(uf.connected(*b, *a));
+        }
+        // set sizes sum to the universe
+        let mut total = 0;
+        let mut seen_roots = std::collections::HashSet::new();
+        for i in 0..20 {
+            let r = uf.find(i);
+            if seen_roots.insert(r) {
+                total += uf.set_size(i);
+            }
+        }
+        prop_assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn survival_probability_is_monotone(p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(survival_probability(lo) <= survival_probability(hi) + 1e-12);
+    }
+
+    #[test]
+    fn root_to_leaf_probability_decreases_with_depth(p in 0.0f64..1.0, d in 0u32..30) {
+        prop_assert!(root_to_leaf_probability(p, d) + 1e-12 >= root_to_leaf_probability(p, d + 1));
+    }
+
+    #[test]
+    fn frozen_sample_edits_round_trip(edges in proptest::collection::vec((0u64..30, 0u64..30), 0..40)) {
+        let mut sample = FrozenSample::new();
+        let mut reference = std::collections::HashSet::new();
+        for (a, b) in edges {
+            if a == b { continue; }
+            let e = EdgeId::new(VertexId(a), VertexId(b));
+            sample.open_edge(e);
+            reference.insert(e);
+        }
+        prop_assert_eq!(sample.num_open(), reference.len());
+        for e in &reference {
+            prop_assert!(sample.is_open(*e));
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Measuring routing complexity (Definition 2 of the paper).
+//!
+//! The routing complexity of an algorithm `A` with respect to `u, v` is the
+//! number of probes `A` makes to find a path in `G_p`, **conditioned on the
+//! event `{u ∼ v}`**. The harness in this module turns that definition into a
+//! measurement procedure: sample independent percolation instances, discard
+//! those where `u` and `v` are not connected (checking connectivity with an
+//! un-metered BFS — the ground truth, not a router), run the router on the
+//! remaining instances, verify any returned path, and record the probe
+//! counts.
+
+use faultnet_percolation::bfs::connected;
+use faultnet_percolation::PercolationConfig;
+use faultnet_topology::{Topology, VertexId};
+
+use crate::probe::ProbeEngine;
+use crate::router::{RouteError, Router};
+
+/// Outcome classification of a single conditioned trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialResult {
+    /// The router found a valid open path; the probe count is recorded.
+    Routed {
+        /// Probes spent in this trial.
+        probes: u64,
+    },
+    /// The router terminated without a path even though `u ∼ v` held
+    /// (possible for deliberately incomplete routers such as strict greedy
+    /// or the paper-faithful paired-DFS oracle).
+    GaveUp {
+        /// Probes spent before giving up.
+        probes: u64,
+    },
+    /// The router hit its probe budget.
+    BudgetExhausted {
+        /// The budget that was in force.
+        budget: u64,
+    },
+    /// The router returned a path that is not a valid open `u → v` path
+    /// (this indicates a bug in the router; the harness surfaces it rather
+    /// than silently accepting the claim).
+    InvalidPath,
+}
+
+/// Aggregated routing-complexity statistics for one router and vertex pair.
+#[derive(Debug, Clone)]
+pub struct ComplexityStats {
+    router: String,
+    attempted: u32,
+    conditioned: u32,
+    probe_counts: Vec<u64>,
+    gave_up: u32,
+    budget_exhausted: u32,
+    invalid_paths: u32,
+}
+
+impl ComplexityStats {
+    /// Name of the router that was measured.
+    pub fn router(&self) -> &str {
+        &self.router
+    }
+
+    /// Number of percolation instances sampled in total.
+    pub fn attempted_trials(&self) -> u32 {
+        self.attempted
+    }
+
+    /// Number of instances that satisfied the conditioning event `{u ∼ v}`.
+    pub fn conditioned_trials(&self) -> u32 {
+        self.conditioned
+    }
+
+    /// Empirical probability of the conditioning event.
+    pub fn connectivity_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.conditioned as f64 / self.attempted as f64
+        }
+    }
+
+    /// Probe counts of the successful (routed) trials.
+    pub fn probe_counts(&self) -> &[u64] {
+        &self.probe_counts
+    }
+
+    /// Number of conditioned trials in which the router found a valid path.
+    pub fn successes(&self) -> u32 {
+        self.probe_counts.len() as u32
+    }
+
+    /// Number of conditioned trials in which the router gave up.
+    pub fn give_ups(&self) -> u32 {
+        self.gave_up
+    }
+
+    /// Number of conditioned trials stopped by the probe budget.
+    pub fn budget_exhaustions(&self) -> u32 {
+        self.budget_exhausted
+    }
+
+    /// Number of conditioned trials in which the router returned an invalid
+    /// path (always 0 unless a router is buggy).
+    pub fn invalid_paths(&self) -> u32 {
+        self.invalid_paths
+    }
+
+    /// Fraction of conditioned trials in which the router found a path.
+    pub fn success_rate(&self) -> f64 {
+        if self.conditioned == 0 {
+            0.0
+        } else {
+            self.successes() as f64 / self.conditioned as f64
+        }
+    }
+
+    /// Mean probe count over successful trials (`NaN` if there were none).
+    pub fn mean_probes(&self) -> f64 {
+        if self.probe_counts.is_empty() {
+            f64::NAN
+        } else {
+            self.probe_counts.iter().sum::<u64>() as f64 / self.probe_counts.len() as f64
+        }
+    }
+
+    /// Median probe count over successful trials (`None` if there were none).
+    pub fn median_probes(&self) -> Option<u64> {
+        if self.probe_counts.is_empty() {
+            return None;
+        }
+        let mut sorted = self.probe_counts.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
+    }
+
+    /// Maximum probe count over successful trials.
+    pub fn max_probes(&self) -> Option<u64> {
+        self.probe_counts.iter().copied().max()
+    }
+
+    /// Minimum probe count over successful trials.
+    pub fn min_probes(&self) -> Option<u64> {
+        self.probe_counts.iter().copied().min()
+    }
+}
+
+/// Measurement harness realising Definition 2 for a fixed topology, failure
+/// probability, and vertex pair.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_percolation::PercolationConfig;
+/// use faultnet_routing::{bfs::FloodRouter, complexity::ComplexityHarness};
+/// use faultnet_topology::{hypercube::Hypercube, Topology};
+///
+/// let cube = Hypercube::new(8);
+/// let cfg = PercolationConfig::new(0.6, 7);
+/// let harness = ComplexityHarness::new(cube, cfg);
+/// let (u, v) = harness.graph().canonical_pair();
+/// let stats = harness.measure(&FloodRouter::new(), u, v, 10);
+/// assert!(stats.success_rate() > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplexityHarness<T> {
+    graph: T,
+    config: PercolationConfig,
+    probe_budget: Option<u64>,
+}
+
+impl<T: Topology> ComplexityHarness<T> {
+    /// Creates a harness for `graph` at the given percolation configuration.
+    /// Trial `t` uses seed `config.seed() + t`.
+    pub fn new(graph: T, config: PercolationConfig) -> Self {
+        ComplexityHarness {
+            graph,
+            config,
+            probe_budget: None,
+        }
+    }
+
+    /// Caps every trial at `budget` probes; trials that exceed it are
+    /// recorded as [`TrialResult::BudgetExhausted`] instead of running to
+    /// completion. Essential when measuring routers in their exponential
+    /// regime (Theorems 3(i) and 7).
+    #[must_use]
+    pub fn with_probe_budget(mut self, budget: u64) -> Self {
+        self.probe_budget = Some(budget);
+        self
+    }
+
+    /// The topology under measurement.
+    pub fn graph(&self) -> &T {
+        &self.graph
+    }
+
+    /// The percolation configuration (probability and base seed).
+    pub fn config(&self) -> PercolationConfig {
+        self.config
+    }
+
+    /// Runs a single conditioned trial with the given seed, or `None` if the
+    /// conditioning event `{u ∼ v}` fails in that instance.
+    pub fn run_trial<R>(&self, router: &R, u: VertexId, v: VertexId, seed: u64) -> Option<TrialResult>
+    where
+        R: Router<T, faultnet_percolation::EdgeSampler>,
+    {
+        let cfg = self.config.with_seed(seed);
+        let sampler = cfg.sampler();
+        if !connected(&self.graph, &sampler, u, v) {
+            return None;
+        }
+        let mut engine = ProbeEngine::with_locality(&self.graph, &sampler, router.locality(), u);
+        if let Some(budget) = self.probe_budget {
+            engine = engine.with_budget(budget);
+        }
+        Some(match router.route(&mut engine, u, v) {
+            Ok(outcome) => match outcome.path {
+                Some(path) => {
+                    if path.connects(u, v) && path.is_valid_open_path(&self.graph, &sampler) {
+                        TrialResult::Routed {
+                            probes: outcome.probes,
+                        }
+                    } else {
+                        TrialResult::InvalidPath
+                    }
+                }
+                None => TrialResult::GaveUp {
+                    probes: outcome.probes,
+                },
+            },
+            Err(RouteError::Probe(crate::probe::ProbeError::BudgetExhausted { budget })) => {
+                TrialResult::BudgetExhausted { budget }
+            }
+            Err(other) => panic!("router {} failed: {other}", router.name()),
+        })
+    }
+
+    /// Measures `router` between `u` and `v` over `trials` independent
+    /// percolation instances, conditioning on `{u ∼ v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router reports an error other than budget exhaustion
+    /// (locality violations and unsupported-topology errors indicate misuse
+    /// and should fail loudly in experiments).
+    pub fn measure<R>(&self, router: &R, u: VertexId, v: VertexId, trials: u32) -> ComplexityStats
+    where
+        R: Router<T, faultnet_percolation::EdgeSampler>,
+    {
+        let mut stats = ComplexityStats {
+            router: router.name(),
+            attempted: trials,
+            conditioned: 0,
+            probe_counts: Vec::new(),
+            gave_up: 0,
+            budget_exhausted: 0,
+            invalid_paths: 0,
+        };
+        for t in 0..trials {
+            let seed = self.config.seed().wrapping_add(t as u64);
+            let Some(result) = self.run_trial(router, u, v, seed) else {
+                continue;
+            };
+            stats.conditioned += 1;
+            match result {
+                TrialResult::Routed { probes } => stats.probe_counts.push(probes),
+                TrialResult::GaveUp { .. } => stats.gave_up += 1,
+                TrialResult::BudgetExhausted { .. } => stats.budget_exhausted += 1,
+                TrialResult::InvalidPath => stats.invalid_paths += 1,
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::FloodRouter;
+    use crate::gnp::{BidirectionalGrowthRouter, IncrementalLocalRouter};
+    use crate::hypercube::GreedyHypercubeRouter;
+    use faultnet_topology::complete::CompleteGraph;
+    use faultnet_topology::hypercube::Hypercube;
+
+    #[test]
+    fn flood_router_never_fails_under_conditioning() {
+        let cube = Hypercube::new(8);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.4, 11));
+        let (u, v) = cube.canonical_pair();
+        let stats = harness.measure(&FloodRouter::new(), u, v, 20);
+        assert_eq!(stats.attempted_trials(), 20);
+        assert!(stats.conditioned_trials() > 0);
+        assert_eq!(stats.successes(), stats.conditioned_trials());
+        assert_eq!(stats.give_ups(), 0);
+        assert_eq!(stats.invalid_paths(), 0);
+        assert_eq!(stats.success_rate(), 1.0);
+        assert!(stats.mean_probes() > 0.0);
+        assert!(stats.median_probes().unwrap() <= stats.max_probes().unwrap());
+        assert!(stats.min_probes().unwrap() <= stats.median_probes().unwrap());
+        assert_eq!(stats.router(), "flood-bfs");
+    }
+
+    #[test]
+    fn incomplete_router_records_give_ups() {
+        // Strict greedy strands regularly at p = 0.4 on the 9-cube.
+        let cube = Hypercube::new(9);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.4, 3));
+        let (u, v) = cube.canonical_pair();
+        let stats = harness.measure(&GreedyHypercubeRouter::strict(), u, v, 30);
+        assert_eq!(
+            stats.successes() + stats.give_ups(),
+            stats.conditioned_trials()
+        );
+        assert!(stats.give_ups() > 0, "expected greedy to strand at p = 0.4");
+        assert!(stats.success_rate() < 1.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_recorded() {
+        let cube = Hypercube::new(8);
+        let harness =
+            ComplexityHarness::new(cube, PercolationConfig::new(0.5, 5)).with_probe_budget(3);
+        let (u, v) = cube.canonical_pair();
+        let stats = harness.measure(&FloodRouter::new(), u, v, 10);
+        assert!(stats.budget_exhaustions() > 0);
+        assert_eq!(stats.successes(), 0);
+    }
+
+    #[test]
+    fn connectivity_rate_reflects_percolation() {
+        let cube = Hypercube::new(8);
+        let harness_high = ComplexityHarness::new(cube, PercolationConfig::new(0.9, 1));
+        let harness_low = ComplexityHarness::new(cube, PercolationConfig::new(0.05, 1));
+        let (u, v) = cube.canonical_pair();
+        let high = harness_high.measure(&FloodRouter::new(), u, v, 20);
+        let low = harness_low.measure(&FloodRouter::new(), u, v, 20);
+        assert!(high.connectivity_rate() > low.connectivity_rate());
+        assert_eq!(low.conditioned_trials(), 0);
+        assert_eq!(low.success_rate(), 0.0);
+        assert!(low.mean_probes().is_nan());
+        assert!(low.median_probes().is_none());
+    }
+
+    #[test]
+    fn gnp_routers_measured_through_the_harness() {
+        let k = CompleteGraph::new(80);
+        let p = 2.5 / 80.0;
+        let harness = ComplexityHarness::new(k, PercolationConfig::new(p, 17));
+        let (u, v) = k.canonical_pair();
+        let local = harness.measure(&IncrementalLocalRouter::new(), u, v, 15);
+        let oracle = harness.measure(&BidirectionalGrowthRouter::new(), u, v, 15);
+        assert_eq!(local.success_rate(), 1.0);
+        assert_eq!(oracle.success_rate(), 1.0);
+        assert!(oracle.mean_probes() < local.mean_probes());
+    }
+}

@@ -1,0 +1,53 @@
+//! Routing algorithms and routing-complexity measurement — the core
+//! contribution of *Routing Complexity of Faulty Networks*.
+//!
+//! The paper's model (Definitions 1 and 2):
+//!
+//! * A **routing algorithm** finds a path between two vertices `u, v` of the
+//!   percolated graph `G_p` by *probing* edges ("is this edge open?").
+//! * A **local** routing algorithm may only probe edges incident to vertices
+//!   it has already connected to `u` by discovered open edges; an **oracle**
+//!   algorithm may probe any edge.
+//! * The **routing complexity** of an algorithm is the number of probes it
+//!   makes, conditioned on `u` and `v` being connected in `G_p`.
+//!
+//! The crate realises the model with:
+//!
+//! * [`probe::ProbeEngine`] — the only gateway to edge states; it counts
+//!   probes, caches answers, enforces the locality constraint, and enforces
+//!   optional probe budgets.
+//! * [`router::Router`] — the algorithm interface, with implementations for
+//!   every algorithm the paper describes:
+//!   [`bfs::FloodRouter`] (the "probe everything" baseline),
+//!   [`bfs::BidirectionalOracleBfs`],
+//!   [`hypercube::GreedyHypercubeRouter`] and [`hypercube::SegmentRouter`]
+//!   (Theorem 3(ii)), [`mesh::MeshLandmarkRouter`] (Theorem 4),
+//!   [`tree::LeafPenetrationRouter`] (the local router whose cost Theorem 7
+//!   bounds from below) and [`tree::PairedDfsOracleRouter`] (Theorem 9),
+//!   [`gnp::IncrementalLocalRouter`] (Theorem 10) and
+//!   [`gnp::BidirectionalGrowthRouter`] (Theorem 11).
+//! * [`lower_bound`] — Lemma 5 as executable machinery, together with the
+//!   closed-form hypercube ball bound of §3.1 and the Theorem 7 bound.
+//! * [`complexity::ComplexityHarness`] — Definition 2 as a measurement
+//!   procedure: sample instances, condition on `u ∼ v`, run a router, record
+//!   probe counts.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod complexity;
+pub mod dfs;
+pub mod gnp;
+pub mod hypercube;
+pub mod landmark;
+pub mod lower_bound;
+pub mod mesh;
+pub mod path;
+pub mod probe;
+pub mod router;
+pub mod tree;
+
+pub use complexity::{ComplexityHarness, ComplexityStats};
+pub use path::Path;
+pub use probe::{ProbeEngine, ProbeError};
+pub use router::{Locality, RouteOutcome, Router};

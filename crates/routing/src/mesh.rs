@@ -1,0 +1,201 @@
+//! Local routing on the percolated `d`-dimensional mesh `M^d_p`
+//! (§4 of the paper).
+//!
+//! Theorem 4: for any `p > p_c^d`, there is a local routing algorithm whose
+//! expected complexity between vertices at mesh distance `n` is `O(n)`. The
+//! algorithm (§4.1) fixes a fault-free shortest path `u = u_0, …, u_n = v`
+//! and, from the landmark reached so far, exhaustively probes outwards (BFS)
+//! until some later landmark is found. Its cost is controlled by two
+//! percolation facts: consecutive giant-component landmarks are
+//! geometrically close (density of the giant cluster), and chemical distances
+//! are linear in graph distances (Antal–Pisztora, Lemma 8).
+
+use faultnet_percolation::sample::EdgeStates;
+use faultnet_topology::{Topology, VertexId};
+
+use crate::landmark::{DepthPolicy, LandmarkBfsRouter};
+use crate::probe::ProbeEngine;
+use crate::router::{Locality, RouteError, RouteOutcome, Router};
+
+/// The Theorem 4 local router: landmark-to-landmark BFS along a fault-free
+/// geodesic with unbounded per-gap searches.
+///
+/// The router is generic over the topology: any family exposing a
+/// closed-form geodesic ([`Topology::geodesic`]) can use it, which is how the
+/// ablation experiments compare the mesh against the torus. Applying it to a
+/// topology without a geodesic yields [`RouteError::Unsupported`].
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_percolation::PercolationConfig;
+/// use faultnet_routing::{mesh::MeshLandmarkRouter, probe::ProbeEngine, router::Router};
+/// use faultnet_topology::{mesh::Mesh, Topology};
+///
+/// let grid = Mesh::new(2, 16);
+/// let sampler = PercolationConfig::new(0.7, 5).sampler();
+/// let (u, v) = grid.canonical_pair();
+/// let mut engine = ProbeEngine::local(&grid, &sampler, u);
+/// let outcome = MeshLandmarkRouter::new().route(&mut engine, u, v)?;
+/// // p = 0.7 > p_c = 0.5: the canonical pair is almost always connected and
+/// // the number of probes is within a small constant factor of the distance.
+/// if let Some(path) = &outcome.path {
+///     assert!(path.is_valid_open_path(&grid, &sampler));
+/// }
+/// # Ok::<(), faultnet_routing::router::RouteError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeshLandmarkRouter {
+    inner: LandmarkBfsRouter,
+}
+
+impl MeshLandmarkRouter {
+    /// Creates the Theorem 4 router (unbounded per-gap searches).
+    pub fn new() -> Self {
+        MeshLandmarkRouter {
+            inner: LandmarkBfsRouter::new(DepthPolicy::unbounded()),
+        }
+    }
+
+    /// A variant whose per-gap searches start shallow and escalate; used by
+    /// the landmark-spacing ablation.
+    pub fn with_escalation(initial_depth: u64, max_depth: u64) -> Self {
+        MeshLandmarkRouter {
+            inner: LandmarkBfsRouter::new(DepthPolicy::escalating(initial_depth, max_depth)),
+        }
+    }
+}
+
+impl<T: Topology, S: EdgeStates> Router<T, S> for MeshLandmarkRouter {
+    fn locality(&self) -> Locality {
+        Locality::Local
+    }
+
+    fn name(&self) -> String {
+        "mesh-landmark".to_string()
+    }
+
+    fn route(
+        &self,
+        engine: &mut ProbeEngine<'_, T, S>,
+        source: VertexId,
+        target: VertexId,
+    ) -> Result<RouteOutcome, RouteError> {
+        self.inner.route(engine, source, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultnet_percolation::bfs::connected;
+    use faultnet_percolation::PercolationConfig;
+    use faultnet_topology::mesh::Mesh;
+    use faultnet_topology::torus::Torus;
+
+    #[test]
+    fn routes_on_the_fault_free_grid_with_linear_probes() {
+        let grid = Mesh::new(2, 30);
+        let sampler = PercolationConfig::new(1.0, 0).sampler();
+        let (u, v) = grid.canonical_pair();
+        let mut engine = ProbeEngine::local(&grid, &sampler, u);
+        let outcome = MeshLandmarkRouter::new().route(&mut engine, u, v).unwrap();
+        let path = outcome.path.unwrap();
+        assert_eq!(path.len() as u64, grid.distance(u, v).unwrap());
+        assert!(outcome.probes <= 4 * (grid.distance(u, v).unwrap() + 1));
+    }
+
+    #[test]
+    fn complete_above_threshold_and_valid_paths() {
+        let grid = Mesh::new(2, 14);
+        let (u, v) = grid.canonical_pair();
+        let router = MeshLandmarkRouter::new();
+        for seed in 0..20 {
+            let sampler = PercolationConfig::new(0.65, seed).sampler();
+            let mut engine = ProbeEngine::local(&grid, &sampler, u);
+            let outcome = router.route(&mut engine, u, v).unwrap();
+            assert_eq!(
+                outcome.is_success(),
+                connected(&grid, &sampler, u, v),
+                "seed {seed}"
+            );
+            if let Some(path) = outcome.path {
+                assert!(path.is_valid_open_path(&grid, &sampler));
+                assert!(path.connects(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn three_dimensional_mesh_is_supported() {
+        let mesh = Mesh::new(3, 8);
+        let (u, v) = mesh.canonical_pair();
+        let sampler = PercolationConfig::new(0.5, 3).sampler();
+        let mut engine = ProbeEngine::local(&mesh, &sampler, u);
+        let outcome = MeshLandmarkRouter::new().route(&mut engine, u, v).unwrap();
+        assert_eq!(outcome.is_success(), connected(&mesh, &sampler, u, v));
+    }
+
+    #[test]
+    fn works_on_the_torus_too() {
+        let torus = Torus::new(2, 12);
+        let (u, v) = torus.canonical_pair();
+        let sampler = PercolationConfig::new(0.7, 9).sampler();
+        let mut engine = ProbeEngine::local(&torus, &sampler, u);
+        let outcome = MeshLandmarkRouter::new().route(&mut engine, u, v).unwrap();
+        assert_eq!(outcome.is_success(), connected(&torus, &sampler, u, v));
+    }
+
+    #[test]
+    fn probes_grow_roughly_linearly_with_distance_above_threshold() {
+        // Theorem 4's headline claim at a qualitative, small-size level:
+        // doubling the distance should roughly double the probe count, far
+        // from the quadratic growth of flooding.
+        let p = 0.75;
+        let router = MeshLandmarkRouter::new();
+        let mut means = Vec::new();
+        for (side, dist) in [(11u64, 10u64), (21, 20), (41, 40)] {
+            let mesh = Mesh::new(2, side);
+            let u = mesh.vertex_at(&[0, 0]);
+            let v = mesh.vertex_at(&[dist, 0]);
+            let mut total = 0u64;
+            let mut counted = 0u64;
+            for seed in 0..25 {
+                let sampler = PercolationConfig::new(p, seed).sampler();
+                if !connected(&mesh, &sampler, u, v) {
+                    continue;
+                }
+                let mut engine = ProbeEngine::local(&mesh, &sampler, u);
+                let outcome = router.route(&mut engine, u, v).unwrap();
+                assert!(outcome.is_success());
+                total += outcome.probes;
+                counted += 1;
+            }
+            assert!(counted > 5, "too few connected instances at side {side}");
+            means.push(total as f64 / counted as f64);
+        }
+        // Probes per unit distance should stay bounded (linear growth):
+        let per_dist: Vec<f64> = means
+            .iter()
+            .zip([10.0, 20.0, 40.0])
+            .map(|(m, d)| m / d)
+            .collect();
+        assert!(
+            per_dist[2] < per_dist[0] * 3.0,
+            "probes/distance exploded: {per_dist:?}"
+        );
+    }
+
+    #[test]
+    fn escalation_variant_is_still_complete() {
+        let grid = Mesh::new(2, 10);
+        let (u, v) = grid.canonical_pair();
+        let router = MeshLandmarkRouter::with_escalation(1, 4);
+        for seed in 0..10 {
+            let sampler = PercolationConfig::new(0.6, seed).sampler();
+            let mut engine = ProbeEngine::local(&grid, &sampler, u);
+            let outcome = router.route(&mut engine, u, v).unwrap();
+            assert_eq!(outcome.is_success(), connected(&grid, &sampler, u, v));
+        }
+    }
+}

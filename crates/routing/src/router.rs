@@ -1,0 +1,206 @@
+//! The routing-algorithm interface.
+
+use std::fmt;
+
+use faultnet_percolation::sample::EdgeStates;
+use faultnet_topology::{Topology, VertexId};
+
+use crate::path::Path;
+use crate::probe::{ProbeEngine, ProbeError};
+
+/// Whether an algorithm is a *local* router (Definition 1: probes must touch
+/// vertices already reached from the source) or an *oracle* router (any edge
+/// may be probed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Locality {
+    /// Probes restricted to the component discovered so far.
+    Local,
+    /// Unrestricted probes.
+    Oracle,
+}
+
+impl fmt::Display for Locality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locality::Local => write!(f, "local"),
+            Locality::Oracle => write!(f, "oracle"),
+        }
+    }
+}
+
+/// The result of one routing attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// The open path found, if any. `None` means the algorithm terminated
+    /// having established that it cannot reach the target (or gave up within
+    /// its own limits) — it is *not* an error.
+    pub path: Option<Path>,
+    /// Number of distinct edges probed (the paper's routing complexity).
+    pub probes: u64,
+    /// Number of raw probe queries issued, counting repeats.
+    pub queries: u64,
+}
+
+impl RouteOutcome {
+    /// Builds an outcome from a finished engine and an optional path.
+    pub fn from_engine<T: Topology, S: EdgeStates>(
+        engine: &ProbeEngine<'_, T, S>,
+        path: Option<Path>,
+    ) -> Self {
+        RouteOutcome {
+            path,
+            probes: engine.probes_used(),
+            queries: engine.queries_issued(),
+        }
+    }
+
+    /// Returns `true` if a path was found.
+    pub fn is_success(&self) -> bool {
+        self.path.is_some()
+    }
+}
+
+/// Errors a router can raise.
+///
+/// Note that "no path exists" is reported through
+/// [`RouteOutcome::path`]` == None`, not as an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The probe engine rejected a probe (budget exhausted, locality
+    /// violation, or non-edge probe).
+    Probe(ProbeError),
+    /// The router was invoked on input it does not support (wrong topology
+    /// parameters, source equal to an unsupported vertex, …). The string
+    /// explains the problem.
+    Unsupported(String),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Probe(e) => write!(f, "probe failed: {e}"),
+            RouteError::Unsupported(msg) => write!(f, "unsupported routing request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouteError::Probe(e) => Some(e),
+            RouteError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<ProbeError> for RouteError {
+    fn from(value: ProbeError) -> Self {
+        RouteError::Probe(value)
+    }
+}
+
+/// A routing algorithm over topology `T` and edge-state oracle `S`.
+///
+/// Implementations receive a [`ProbeEngine`] whose locality mode matches
+/// [`Router::locality`]; the engine is the only way to look at edge states,
+/// so the probe count in the returned [`RouteOutcome`] is trustworthy by
+/// construction.
+pub trait Router<T: Topology, S: EdgeStates> {
+    /// Whether this algorithm is local or oracle (Definition 1).
+    fn locality(&self) -> Locality;
+
+    /// Human-readable algorithm name (used in reports and tables).
+    fn name(&self) -> String;
+
+    /// Attempts to find an open path from `source` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Probe`] when the engine rejects a probe (most
+    /// commonly budget exhaustion) and [`RouteError::Unsupported`] when the
+    /// router cannot handle the given topology or vertex pair.
+    fn route(
+        &self,
+        engine: &mut ProbeEngine<'_, T, S>,
+        source: VertexId,
+        target: VertexId,
+    ) -> Result<RouteOutcome, RouteError>;
+}
+
+impl<T: Topology, S: EdgeStates, R: Router<T, S> + ?Sized> Router<T, S> for &R {
+    fn locality(&self) -> Locality {
+        (**self).locality()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn route(
+        &self,
+        engine: &mut ProbeEngine<'_, T, S>,
+        source: VertexId,
+        target: VertexId,
+    ) -> Result<RouteOutcome, RouteError> {
+        (**self).route(engine, source, target)
+    }
+}
+
+impl<T: Topology, S: EdgeStates, R: Router<T, S> + ?Sized> Router<T, S> for Box<R> {
+    fn locality(&self) -> Locality {
+        (**self).locality()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn route(
+        &self,
+        engine: &mut ProbeEngine<'_, T, S>,
+        source: VertexId,
+        target: VertexId,
+    ) -> Result<RouteOutcome, RouteError> {
+        (**self).route(engine, source, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultnet_percolation::PercolationConfig;
+    use faultnet_topology::hypercube::Hypercube;
+
+    #[test]
+    fn locality_display() {
+        assert_eq!(Locality::Local.to_string(), "local");
+        assert_eq!(Locality::Oracle.to_string(), "oracle");
+    }
+
+    #[test]
+    fn outcome_from_engine() {
+        let cube = Hypercube::new(3);
+        let sampler = PercolationConfig::new(1.0, 0).sampler();
+        let mut engine = ProbeEngine::oracle(&cube, &sampler);
+        engine.probe_between(VertexId(0), VertexId(1)).unwrap();
+        let outcome = RouteOutcome::from_engine(&engine, Some(Path::trivial(VertexId(0))));
+        assert!(outcome.is_success());
+        assert_eq!(outcome.probes, 1);
+        assert_eq!(outcome.queries, 1);
+        let failure = RouteOutcome::from_engine(&engine, None);
+        assert!(!failure.is_success());
+    }
+
+    #[test]
+    fn route_error_conversions_and_display() {
+        let probe_err = ProbeError::BudgetExhausted { budget: 3 };
+        let err: RouteError = probe_err.into();
+        assert!(matches!(err, RouteError::Probe(_)));
+        assert!(err.to_string().contains("budget"));
+        let unsupported = RouteError::Unsupported("needs a hypercube".into());
+        assert!(unsupported.to_string().contains("hypercube"));
+        use std::error::Error;
+        assert!(err.source().is_some());
+        assert!(unsupported.source().is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! The complete graph `K_n`, the substrate of the Erdős–Rényi model
+//! `G_{n,p}` studied in §5 of the paper.
+//!
+//! Percolating `K_n` with retention probability `p` yields exactly `G_{n,p}`
+//! ("a faulty complete graph" in the paper's words). Theorems 10 and 11
+//! contrast the `Ω(n²)` complexity of local routing with the `Θ(n^{3/2})`
+//! complexity of oracle routing on this graph.
+
+use crate::{Topology, VertexId};
+
+/// The complete graph on `n` vertices.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_topology::{complete::CompleteGraph, Topology, VertexId};
+///
+/// let k = CompleteGraph::new(100);
+/// assert_eq!(k.num_edges(), 100 * 99 / 2);
+/// assert_eq!(k.distance(VertexId(3), VertexId(42)), Some(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompleteGraph {
+    order: u64,
+}
+
+impl CompleteGraph {
+    /// Creates the complete graph on `order` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order < 2` or `order > 2^32` (the edge count must fit in a
+    /// `u64` and experiments never need more).
+    pub fn new(order: u64) -> Self {
+        assert!(order >= 2, "complete graph needs at least 2 vertices");
+        assert!(order <= 1 << 32, "complete graph order too large");
+        CompleteGraph { order }
+    }
+
+    /// The number of vertices `n`.
+    pub fn order(&self) -> u64 {
+        self.order
+    }
+}
+
+impl Topology for CompleteGraph {
+    fn num_vertices(&self) -> u64 {
+        self.order
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.order * (self.order - 1) / 2
+    }
+
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        assert!(self.contains(v), "vertex {v} out of range");
+        (0..self.order)
+            .filter(|&w| w != v.0)
+            .map(VertexId)
+            .collect()
+    }
+
+    fn degree(&self, _v: VertexId) -> usize {
+        (self.order - 1) as usize
+    }
+
+    fn max_degree(&self) -> usize {
+        (self.order - 1) as usize
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.contains(u) && self.contains(v)
+    }
+
+    fn name(&self) -> String {
+        format!("complete(n={})", self.order)
+    }
+
+    fn distance(&self, u: VertexId, v: VertexId) -> Option<u64> {
+        Some(u64::from(u != v))
+    }
+
+    fn geodesic(&self, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+        if u == v {
+            Some(vec![u])
+        } else {
+            Some(vec![u, v])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_topology_invariants;
+
+    #[test]
+    fn counts() {
+        let k = CompleteGraph::new(10);
+        assert_eq!(k.num_vertices(), 10);
+        assert_eq!(k.num_edges(), 45);
+        assert_eq!(k.degree(VertexId(0)), 9);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        check_topology_invariants(&CompleteGraph::new(2));
+        check_topology_invariants(&CompleteGraph::new(7));
+        check_topology_invariants(&CompleteGraph::new(20));
+    }
+
+    #[test]
+    fn every_pair_is_adjacent() {
+        let k = CompleteGraph::new(6);
+        for u in k.vertices() {
+            for v in k.vertices() {
+                if u != v {
+                    assert!(k.has_edge(u, v));
+                    assert_eq!(k.distance(u, v), Some(1));
+                } else {
+                    assert!(!k.has_edge(u, v));
+                    assert_eq!(k.distance(u, v), Some(0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geodesics() {
+        let k = CompleteGraph::new(5);
+        assert_eq!(
+            k.geodesic(VertexId(1), VertexId(3)),
+            Some(vec![VertexId(1), VertexId(3)])
+        );
+        assert_eq!(k.geodesic(VertexId(2), VertexId(2)), Some(vec![VertexId(2)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_vertex_rejected() {
+        let _ = CompleteGraph::new(1);
+    }
+}

@@ -1,0 +1,177 @@
+//! An explicit adjacency-list graph.
+//!
+//! Most of the workspace operates on the implicit families, but an explicit
+//! graph is occasionally useful: as a conversion target when an algorithm
+//! genuinely needs to materialise a (small) graph, as a test double for
+//! hand-crafted counter-examples, and as the escape hatch for user-supplied
+//! topologies.
+
+use crate::{Topology, VertexId};
+
+/// A graph stored as adjacency lists.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_topology::{explicit::ExplicitGraph, Topology, VertexId};
+///
+/// // A triangle with a pendant vertex.
+/// let g = ExplicitGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.degree(VertexId(2)), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitGraph {
+    adjacency: Vec<Vec<VertexId>>,
+    num_edges: u64,
+    label: String,
+}
+
+impl ExplicitGraph {
+    /// Creates an empty graph on `n` isolated vertices.
+    pub fn new(n: u64) -> Self {
+        ExplicitGraph {
+            adjacency: vec![Vec::new(); n as usize],
+            num_edges: 0,
+            label: format!("explicit(n={n})"),
+        }
+    }
+
+    /// Builds a graph on `n` vertices from an edge list. Duplicate edges and
+    /// self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: u64, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut g = ExplicitGraph::new(n);
+        for (a, b) in edges {
+            g.add_edge(VertexId(a), VertexId(b));
+        }
+        g
+    }
+
+    /// Materialises any [`Topology`] into an explicit graph (intended for
+    /// small graphs; the hypercube at `n = 20` would need hundreds of MB).
+    pub fn from_topology<T: Topology>(source: &T) -> Self {
+        let mut g = ExplicitGraph::new(source.num_vertices());
+        g.label = format!("explicit({})", source.name());
+        for e in source.edges() {
+            g.add_edge(e.lo(), e.hi());
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{a, b}`. Returns `true` if the edge was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `a == b`.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        assert!(self.contains(a), "vertex {a} out of range");
+        assert!(self.contains(b), "vertex {b} out of range");
+        assert_ne!(a, b, "self-loops are not supported");
+        if self.adjacency[a.0 as usize].contains(&b) {
+            return false;
+        }
+        self.adjacency[a.0 as usize].push(b);
+        self.adjacency[b.0 as usize].push(a);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Sets the human-readable name reported by [`Topology::name`].
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+}
+
+impl Topology for ExplicitGraph {
+    fn num_vertices(&self) -> u64 {
+        self.adjacency.len() as u64
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        assert!(self.contains(v), "vertex {v} out of range");
+        self.adjacency[v.0 as usize].clone()
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_topology_invariants, hypercube::Hypercube, mesh::Mesh};
+
+    #[test]
+    fn from_edges_builds_expected_graph() {
+        let g = ExplicitGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        check_topology_invariants(&g);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let g = ExplicitGraph::from_edges(3, [(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn from_topology_preserves_structure() {
+        let cube = Hypercube::new(4);
+        let g = ExplicitGraph::from_topology(&cube);
+        assert_eq!(g.num_vertices(), cube.num_vertices());
+        assert_eq!(g.num_edges(), cube.num_edges());
+        for v in cube.vertices() {
+            let mut a = cube.neighbors(v);
+            let mut b = g.neighbors(v);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+        check_topology_invariants(&g);
+    }
+
+    #[test]
+    fn from_topology_mesh() {
+        let mesh = Mesh::new(2, 4);
+        let g = ExplicitGraph::from_topology(&mesh);
+        assert_eq!(g.num_edges(), mesh.num_edges());
+        check_topology_invariants(&g);
+    }
+
+    #[test]
+    fn labels() {
+        let mut g = ExplicitGraph::new(3);
+        assert_eq!(g.name(), "explicit(n=3)");
+        g.set_label("triangle");
+        assert_eq!(g.name(), "triangle");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = ExplicitGraph::new(2);
+        g.add_edge(VertexId(1), VertexId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let mut g = ExplicitGraph::new(2);
+        g.add_edge(VertexId(0), VertexId(5));
+    }
+}

@@ -1,0 +1,387 @@
+//! Graph families studied by *Routing Complexity of Faulty Networks*.
+//!
+//! Every topology in this crate is an **implicit graph**: vertices are dense
+//! integer identifiers `0 .. num_vertices()` and adjacency is computed on
+//! demand from the structure of the family (bit flips for the hypercube,
+//! coordinate steps for the mesh, …). Nothing is materialised up front, which
+//! matches the paper's probe model — an edge only "exists" for an algorithm
+//! once it has been probed — and keeps graphs with tens of millions of edges
+//! cheap to hold.
+//!
+//! The families implemented are exactly those the paper studies or names:
+//!
+//! * [`hypercube::Hypercube`] — the `n`-dimensional hypercube `H_n` (§3).
+//! * [`mesh::Mesh`] — the `d`-dimensional mesh `M^d` (§4).
+//! * [`torus::Torus`] — wrap-around mesh, used for boundary-effect ablations.
+//! * [`double_tree::DoubleBinaryTree`] — the double binary tree `TT_n` (§2.1).
+//! * [`binary_tree::BinaryTree`] — a rooted complete binary tree
+//!   (Galton–Watson illustration, §2.1/§5).
+//! * [`complete::CompleteGraph`] — `K_n`, the substrate of `G_{n,p}` (§5).
+//! * [`cycle_matching::CycleWithMatching`] — a cycle plus a matching
+//!   (small-world motivation, §1).
+//! * [`de_bruijn::DeBruijn`], [`butterfly::Butterfly`],
+//!   [`shuffle_exchange::ShuffleExchange`] — the constant-degree families
+//!   named in the open questions (§6).
+//! * [`explicit::ExplicitGraph`] — adjacency-list escape hatch and the target
+//!   of [`explicit::ExplicitGraph::from_topology`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod binary_tree;
+pub mod butterfly;
+pub mod complete;
+pub mod cycle_matching;
+pub mod de_bruijn;
+pub mod double_tree;
+pub mod explicit;
+pub mod hypercube;
+pub mod mesh;
+pub mod shuffle_exchange;
+pub mod torus;
+
+/// Identifier of a vertex.
+///
+/// All topologies in this crate use dense identifiers in
+/// `0 .. Topology::num_vertices()`. The meaning of the bits is
+/// topology-specific (e.g. the hypercube uses the id directly as the vertex's
+/// coordinate bitmask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u64);
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(value: u64) -> Self {
+        VertexId(value)
+    }
+}
+
+/// Canonical identifier of an undirected edge: the endpoint pair stored with
+/// the smaller vertex first.
+///
+/// The canonical form makes `EdgeId` suitable both as a hash-map key and as
+/// the input to the deterministic percolation sampler, which must return the
+/// same open/closed state regardless of the direction from which an edge is
+/// probed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId {
+    lo: VertexId,
+    hi: VertexId,
+}
+
+impl EdgeId {
+    /// Creates the canonical edge id for the unordered pair `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`; the families studied here have no self-loops.
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert_ne!(a, b, "self-loops are not valid edges");
+        if a.0 <= b.0 {
+            EdgeId { lo: a, hi: b }
+        } else {
+            EdgeId { lo: b, hi: a }
+        }
+    }
+
+    /// The endpoint with the smaller identifier.
+    pub fn lo(&self) -> VertexId {
+        self.lo
+    }
+
+    /// The endpoint with the larger identifier.
+    pub fn hi(&self) -> VertexId {
+        self.hi
+    }
+
+    /// Both endpoints, smaller first.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns `true` if `v` is one of the two endpoints.
+    pub fn touches(&self, v: VertexId) -> bool {
+        self.lo == v || self.hi == v
+    }
+
+    /// Given one endpoint, returns the other; `None` if `v` is not an
+    /// endpoint of this edge.
+    pub fn other(&self, v: VertexId) -> Option<VertexId> {
+        if v == self.lo {
+            Some(self.hi)
+        } else if v == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// A stable 128-bit key identifying this edge, used by hashing samplers.
+    pub fn key(&self) -> u128 {
+        ((self.lo.0 as u128) << 64) | self.hi.0 as u128
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+/// Iterator over all vertices of a topology (`0 .. num_vertices`).
+#[derive(Debug, Clone)]
+pub struct Vertices {
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for Vertices {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next < self.end {
+            let v = VertexId(self.next);
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Vertices {}
+
+/// A finite undirected graph with implicit adjacency.
+///
+/// Implementations are expected to be cheap to clone (they carry only the
+/// family parameters, never adjacency lists) and every method must be a pure
+/// function of those parameters.
+pub trait Topology {
+    /// Number of vertices. Vertex ids are exactly `0 .. num_vertices()`.
+    fn num_vertices(&self) -> u64;
+
+    /// Number of undirected edges.
+    fn num_edges(&self) -> u64;
+
+    /// Neighbors of `v` in the *fault-free* graph.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `v` is not a vertex of the graph
+    /// (`v.0 >= num_vertices()`).
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId>;
+
+    /// Human-readable family name with parameters, e.g. `"hypercube(n=12)"`.
+    fn name(&self) -> String;
+
+    /// Returns `true` if `v` is a vertex of this graph.
+    fn contains(&self, v: VertexId) -> bool {
+        v.0 < self.num_vertices()
+    }
+
+    /// Degree of `v` in the fault-free graph.
+    fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Returns `true` if `{u, v}` is an edge of the fault-free graph.
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.neighbors(u).contains(&v)
+    }
+
+    /// Iterator over all vertices.
+    fn vertices(&self) -> Vertices {
+        Vertices {
+            next: 0,
+            end: self.num_vertices(),
+        }
+    }
+
+    /// All edges incident to `v`, in canonical form.
+    fn incident_edges(&self, v: VertexId) -> Vec<EdgeId> {
+        self.neighbors(v)
+            .into_iter()
+            .map(|w| EdgeId::new(v, w))
+            .collect()
+    }
+
+    /// All edges of the graph, each reported exactly once.
+    ///
+    /// The default implementation enumerates each vertex's neighbors and
+    /// keeps the edges whose canonical low endpoint is that vertex.
+    fn edges(&self) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        for v in self.vertices() {
+            for w in self.neighbors(v) {
+                if v.0 < w.0 {
+                    out.push(EdgeId::new(v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Graph distance between `u` and `v` when the family admits a closed
+    /// form (Hamming distance on the hypercube, L1 on the mesh, …).
+    ///
+    /// Returns `None` when no closed form is implemented; callers should then
+    /// fall back to BFS on the fault-free graph.
+    fn distance(&self, u: VertexId, v: VertexId) -> Option<u64> {
+        let _ = (u, v);
+        None
+    }
+
+    /// One canonical shortest path from `u` to `v` (inclusive of both
+    /// endpoints) when the family admits a closed form.
+    ///
+    /// Returns `None` when no closed form is implemented. When `Some(path)`
+    /// is returned, `path.len() == distance(u, v) + 1` and consecutive
+    /// entries are adjacent in the fault-free graph.
+    fn geodesic(&self, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+        let _ = (u, v);
+        None
+    }
+
+    /// A designated "far" vertex pair used by experiments (typically a
+    /// diameter-realising pair). Defaults to `(0, num_vertices - 1)`.
+    fn canonical_pair(&self) -> (VertexId, VertexId) {
+        (VertexId(0), VertexId(self.num_vertices() - 1))
+    }
+
+    /// Upper bound on the vertex degree over the whole graph.
+    fn max_degree(&self) -> usize {
+        // Conservative default: scan all vertices. Families override this
+        // with their closed form to avoid the scan.
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+/// Checks the structural invariants shared by every [`Topology`]
+/// implementation; used by unit and property tests across the workspace.
+///
+/// Verifies that neighbor lists are symmetric, free of self-loops and
+/// duplicates, stay inside the vertex range, and that the handshake identity
+/// `Σ deg(v) = 2·|E|` holds.
+///
+/// # Panics
+///
+/// Panics (with a descriptive message) if any invariant is violated. Intended
+/// for test code.
+pub fn check_topology_invariants<T: Topology>(graph: &T) {
+    let n = graph.num_vertices();
+    assert!(n > 0, "{}: empty graph", graph.name());
+    let mut degree_sum: u64 = 0;
+    for v in graph.vertices() {
+        let neigh = graph.neighbors(v);
+        degree_sum += neigh.len() as u64;
+        let mut seen = std::collections::HashSet::new();
+        for w in &neigh {
+            assert!(
+                graph.contains(*w),
+                "{}: neighbor {w} of {v} out of range",
+                graph.name()
+            );
+            assert_ne!(*w, v, "{}: self-loop at {v}", graph.name());
+            assert!(
+                seen.insert(*w),
+                "{}: duplicate neighbor {w} of {v}",
+                graph.name()
+            );
+            assert!(
+                graph.neighbors(*w).contains(&v),
+                "{}: asymmetric edge {v} -> {w}",
+                graph.name()
+            );
+        }
+    }
+    assert_eq!(
+        degree_sum,
+        2 * graph.num_edges(),
+        "{}: handshake lemma violated",
+        graph.name()
+    );
+    assert_eq!(
+        graph.edges().len() as u64,
+        graph.num_edges(),
+        "{}: edges() length disagrees with num_edges()",
+        graph.name()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_id_is_canonical() {
+        let e1 = EdgeId::new(VertexId(3), VertexId(7));
+        let e2 = EdgeId::new(VertexId(7), VertexId(3));
+        assert_eq!(e1, e2);
+        assert_eq!(e1.lo(), VertexId(3));
+        assert_eq!(e1.hi(), VertexId(7));
+        assert_eq!(e1.key(), e2.key());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_id_rejects_self_loop() {
+        let _ = EdgeId::new(VertexId(1), VertexId(1));
+    }
+
+    #[test]
+    fn edge_id_other_endpoint() {
+        let e = EdgeId::new(VertexId(2), VertexId(9));
+        assert_eq!(e.other(VertexId(2)), Some(VertexId(9)));
+        assert_eq!(e.other(VertexId(9)), Some(VertexId(2)));
+        assert_eq!(e.other(VertexId(5)), None);
+        assert!(e.touches(VertexId(2)));
+        assert!(e.touches(VertexId(9)));
+        assert!(!e.touches(VertexId(5)));
+    }
+
+    #[test]
+    fn vertices_iterator_is_exact() {
+        let cube = hypercube::Hypercube::new(4);
+        let vs: Vec<_> = cube.vertices().collect();
+        assert_eq!(vs.len(), 16);
+        assert_eq!(vs[0], VertexId(0));
+        assert_eq!(vs[15], VertexId(15));
+        assert_eq!(cube.vertices().len(), 16);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(VertexId(5).to_string(), "v5");
+        assert_eq!(
+            EdgeId::new(VertexId(1), VertexId(2)).to_string(),
+            "(v1, v2)"
+        );
+    }
+
+    #[test]
+    fn vertex_id_from_u64() {
+        let v: VertexId = 17u64.into();
+        assert_eq!(v, VertexId(17));
+    }
+
+    #[test]
+    fn edge_key_distinguishes_edges() {
+        let e1 = EdgeId::new(VertexId(0), VertexId(1));
+        let e2 = EdgeId::new(VertexId(0), VertexId(2));
+        let e3 = EdgeId::new(VertexId(1), VertexId(2));
+        assert_ne!(e1.key(), e2.key());
+        assert_ne!(e1.key(), e3.key());
+        assert_ne!(e2.key(), e3.key());
+    }
+}

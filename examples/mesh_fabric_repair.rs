@@ -1,0 +1,85 @@
+//! Routing across a mesh fabric with failed links (Theorem 4 in practice).
+//!
+//! A network-on-chip / cluster fabric laid out as a 2-d mesh loses links to
+//! manufacturing defects or cable failures. Theorem 4 says that as long as
+//! the per-link failure probability is below 1/2 (the 2-d percolation
+//! threshold), a purely local repair strategy — walk the planned route and
+//! search around each failed segment — finds a detour with expected cost
+//! proportional to the route length, no matter how close to the threshold the
+//! failure rate is.
+//!
+//! The example routes between distant points of a 61×61 mesh at several
+//! failure rates and compares the landmark (Theorem 4) router with flooding,
+//! reporting probes per unit distance and the length overhead of the detours.
+//!
+//! ```text
+//! cargo run --release --example mesh_fabric_repair
+//! ```
+
+use faultnet::prelude::*;
+
+fn main() {
+    let side = 61;
+    let fabric = Mesh::new(2, side);
+    let u = fabric.vertex_at(&[5, 30]);
+    let v = fabric.vertex_at(&[55, 30]);
+    let distance = fabric.distance(u, v).unwrap();
+    let trials = 25;
+
+    println!(
+        "mesh fabric {side}x{side}: routing a {distance}-hop east-west path, {} trials per row",
+        trials
+    );
+    println!();
+
+    let mut table = Table::new([
+        "link failure q",
+        "pair connected",
+        "landmark probes",
+        "probes / hop",
+        "detour length / shortest",
+        "flood probes",
+    ]);
+
+    for failure in [0.1, 0.25, 0.35, 0.45, 0.48] {
+        let p = 1.0 - failure;
+        let config = PercolationConfig::new(p, 9_000 + (failure * 1000.0) as u64);
+        let harness = ComplexityHarness::new(fabric, config);
+        let landmark = harness.measure(&MeshLandmarkRouter::new(), u, v, trials);
+        let flood = harness.measure(&FloodRouter::new(), u, v, trials);
+
+        // Average detour length of the landmark router's returned paths.
+        let mut stretch_total = 0.0;
+        let mut stretch_count = 0u32;
+        for t in 0..trials {
+            let seed = config.seed().wrapping_add(t as u64);
+            let sampler = config.with_seed(seed).sampler();
+            let mut engine = ProbeEngine::local(&fabric, &sampler, u);
+            if let Ok(outcome) = MeshLandmarkRouter::new().route(&mut engine, u, v) {
+                if let Some(path) = outcome.path {
+                    stretch_total += path.len() as f64 / distance as f64;
+                    stretch_count += 1;
+                }
+            }
+        }
+        let stretch = if stretch_count == 0 {
+            f64::NAN
+        } else {
+            stretch_total / stretch_count as f64
+        };
+
+        table.push_row([
+            format!("{failure:.2}"),
+            format!("{:.2}", landmark.connectivity_rate()),
+            format!("{:.1}", landmark.mean_probes()),
+            format!("{:.2}", landmark.mean_probes() / distance as f64),
+            format!("{stretch:.2}"),
+            format!("{:.1}", flood.mean_probes()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Probes per hop stay bounded all the way up to the percolation threshold at q = 0.5,\n\
+         which is Theorem 4's claim; flooding instead pays for the whole fabric area."
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: percolate a hypercube, route between antipodal vertices with
+//! both a naive and a smart local router, and print what it cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use faultnet::prelude::*;
+
+fn main() {
+    // A 12-dimensional hypercube in which every link fails independently
+    // with probability 0.4 (i.e. survives with p = 0.6).
+    let cube = Hypercube::new(12);
+    let config = PercolationConfig::new(0.6, 2024);
+    let (u, v) = cube.canonical_pair();
+
+    println!("graph: {}", cube.name());
+    println!(
+        "vertices: {}, edges: {}, routing pair at Hamming distance {}",
+        cube.num_vertices(),
+        cube.num_edges(),
+        cube.distance(u, v).unwrap()
+    );
+    println!(
+        "edge retention probability p = {}, seed = {}",
+        config.p(),
+        config.seed()
+    );
+    println!();
+
+    // Measure two local routers under the paper's Definition 2: probe counts
+    // conditioned on the endpoints being connected.
+    let harness = ComplexityHarness::new(cube, config);
+    let trials = 30;
+
+    let flood = harness.measure(&FloodRouter::new(), u, v, trials);
+    let segment = harness.measure(&SegmentRouter::default(), u, v, trials);
+
+    let mut table = Table::new([
+        "router",
+        "locality",
+        "success rate",
+        "mean probes",
+        "median probes",
+        "max probes",
+    ])
+    .with_title(format!(
+        "routing complexity over {trials} trials (connected in {} of them)",
+        flood.conditioned_trials()
+    ));
+    for stats in [&flood, &segment] {
+        table.push_row([
+            stats.router().to_string(),
+            "local".to_string(),
+            format!("{:.2}", stats.success_rate()),
+            format!("{:.1}", stats.mean_probes()),
+            stats
+                .median_probes()
+                .map_or("-".to_string(), |m| m.to_string()),
+            stats
+                .max_probes()
+                .map_or("-".to_string(), |m| m.to_string()),
+        ]);
+    }
+    println!("{table}");
+
+    println!(
+        "The segment router (Theorem 3(ii)) pays roughly per hop along a fault-free geodesic,\n\
+         while flooding pays for every edge of the discovered component — the gap grows quickly\n\
+         with the dimension as long as p stays above n^(-1/2)."
+    );
+}

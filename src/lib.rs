@@ -1,0 +1,72 @@
+//! # faultnet
+//!
+//! A reproduction of *"Routing Complexity of Faulty Networks"* (Angel,
+//! Benjamini, Ofek, Wieder — PODC 2005).
+//!
+//! The crate is a facade over the workspace members:
+//!
+//! * [`topology`] — the graph families studied by the paper (hypercube,
+//!   d-dimensional mesh, double binary tree, complete graph, …).
+//! * [`percolation`] — independent edge-failure substrate and percolation
+//!   analytics (components, thresholds, chemical distance, branching
+//!   processes).
+//! * [`routing`] — the paper's core contribution: the probe model, local and
+//!   oracle routing algorithms, the Lemma 5 lower-bound machinery, and the
+//!   routing-complexity measurement harness.
+//! * [`analysis`] — statistics, parameter sweeps, and table/figure output.
+//! * [`experiments`] — one reproducible experiment per paper result.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use faultnet::prelude::*;
+//!
+//! // A 10-dimensional hypercube where each edge fails with probability 0.5.
+//! let cube = Hypercube::new(10);
+//! let cfg = PercolationConfig::new(0.5, 42);
+//!
+//! // Route between antipodal vertices with the flooding (BFS) router,
+//! // conditioning on the two endpoints being connected.
+//! let harness = ComplexityHarness::new(cube, cfg);
+//! let u = VertexId(0);
+//! let v = VertexId((1 << 10) - 1);
+//! let stats = harness.measure(&FloodRouter::default(), u, v, 20);
+//! assert!(stats.success_rate() > 0.0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use faultnet_analysis as analysis;
+pub use faultnet_experiments as experiments;
+pub use faultnet_percolation as percolation;
+pub use faultnet_routing as routing;
+pub use faultnet_topology as topology;
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use faultnet_analysis::{
+        regression::{fit_line, fit_power_law},
+        stats::Summary,
+        sweep::Sweep,
+        table::Table,
+    };
+    pub use faultnet_percolation::{
+        components::ComponentCensus, sample::EdgeSampler, subgraph::PercolatedGraph,
+        PercolationConfig,
+    };
+    pub use faultnet_routing::{
+        bfs::{BidirectionalOracleBfs, FloodRouter},
+        complexity::{ComplexityHarness, ComplexityStats},
+        dfs::DepthFirstRouter,
+        gnp::{BidirectionalGrowthRouter, IncrementalLocalRouter},
+        hypercube::{GreedyHypercubeRouter, SegmentRouter},
+        mesh::MeshLandmarkRouter,
+        probe::ProbeEngine,
+        router::{Locality, RouteOutcome, Router},
+        tree::{LeafPenetrationRouter, PairedDfsOracleRouter},
+    };
+    pub use faultnet_topology::{
+        complete::CompleteGraph, double_tree::DoubleBinaryTree, hypercube::Hypercube, mesh::Mesh,
+        EdgeId, Topology, VertexId,
+    };
+}

@@ -1,0 +1,100 @@
+//! End-to-end runs of every experiment at quick effort, checking that the
+//! reports carry the qualitative conclusions recorded in EXPERIMENTS.md.
+
+use faultnet::experiments::{
+    chemical_distance::ChemicalDistanceExperiment, double_tree::DoubleTreeExperiment,
+    gnp::GnpExperiment, hypercube_giant::HypercubeGiantExperiment,
+    hypercube_lower_bound::HypercubeLowerBoundExperiment,
+    hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
+    mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment,
+};
+
+#[test]
+fn hypercube_transition_report() {
+    let report = HypercubeTransitionExperiment::quick().run();
+    assert!(!report.tables().is_empty());
+    assert!(!report.figures().is_empty());
+    assert!(report.render().contains("α"));
+    assert!(report.render_markdown().contains("### "));
+}
+
+#[test]
+fn hypercube_lower_bound_report_is_sound() {
+    let report = HypercubeLowerBoundExperiment::quick().run();
+    assert!(report
+        .notes()
+        .iter()
+        .any(|n| n.contains("Soundness check passed")));
+}
+
+#[test]
+fn mesh_routing_report_has_near_linear_exponent() {
+    let report = MeshRoutingExperiment::quick().run();
+    // At least one fitted exponent should be close to 1 (between 0.5 and 1.6
+    // at quick sizes).
+    let has_linearish = report.notes().iter().any(|note| {
+        note.split("n^")
+            .nth(1)
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|num| num.parse::<f64>().ok())
+            .is_some_and(|exp| (0.5..=1.6).contains(&exp))
+    });
+    assert!(has_linearish, "notes: {:?}", report.notes());
+}
+
+#[test]
+fn chemical_distance_report() {
+    let report = ChemicalDistanceExperiment::quick().run();
+    assert!(report.notes().iter().any(|n| n.contains("bounded")));
+}
+
+#[test]
+fn double_tree_report_shows_both_growth_laws() {
+    let report = DoubleTreeExperiment::quick().run();
+    assert!(report.notes().iter().any(|n| n.contains("Theorem 7")));
+    assert!(report.notes().iter().any(|n| n.contains("Theorem 9")));
+}
+
+#[test]
+fn gnp_report_exponents_are_ordered() {
+    let report = GnpExperiment::quick().run();
+    let extract = |needle: &str| -> Option<f64> {
+        report
+            .notes()
+            .iter()
+            .find(|n| n.contains(needle))?
+            .split("n^")
+            .nth(1)?
+            .split(' ')
+            .next()?
+            .parse()
+            .ok()
+    };
+    let local_exp = extract("Theorem 10").expect("local exponent note");
+    let oracle_exp = extract("Theorem 11").expect("oracle exponent note");
+    assert!(
+        local_exp > oracle_exp,
+        "local exponent {local_exp} should exceed oracle exponent {oracle_exp}"
+    );
+    assert!(local_exp > 1.2, "local exponent too small: {local_exp}");
+    assert!(oracle_exp < 2.0, "oracle exponent too large: {oracle_exp}");
+}
+
+#[test]
+fn hypercube_giant_report() {
+    let report = HypercubeGiantExperiment::quick().run();
+    assert!(report.tables().len() >= 2);
+    assert!(!report.notes().is_empty());
+}
+
+#[test]
+fn mesh_threshold_report() {
+    let report = MeshThresholdExperiment::quick().run();
+    assert!(report.render().contains("estimated p_c"));
+}
+
+#[test]
+fn open_questions_report() {
+    let report = OpenQuestionsExperiment::quick().run();
+    assert_eq!(report.tables().len(), 4);
+}
