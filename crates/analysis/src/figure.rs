@@ -153,10 +153,10 @@ impl AsciiFigure {
                 .next()
                 .unwrap_or('*');
             for (x, y) in pts {
-                let col = ((x - min_x) / (max_x - min_x) * (self.width - 1) as f64).round()
-                    as usize;
-                let row = ((y - min_y) / (max_y - min_y) * (self.height - 1) as f64).round()
-                    as usize;
+                let col =
+                    ((x - min_x) / (max_x - min_x) * (self.width - 1) as f64).round() as usize;
+                let row =
+                    ((y - min_y) / (max_y - min_y) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - row; // y grows upwards
                 canvas[row][col] = glyph;
             }
@@ -216,7 +216,10 @@ mod tests {
     fn log_scale_drops_non_positive_values() {
         let fig = AsciiFigure::new("log plot")
             .with_scales(Scale::Log, Scale::Log)
-            .with_series(Series::new("s", vec![(0.0, 1.0), (10.0, 100.0), (100.0, 10000.0)]));
+            .with_series(Series::new(
+                "s",
+                vec![(0.0, 1.0), (10.0, 100.0), (100.0, 10000.0)],
+            ));
         let text = fig.render();
         assert!(text.contains("log10"));
         assert!(text.contains("x: [1.000, 2.000]"));
@@ -247,8 +250,7 @@ mod tests {
 
     #[test]
     fn degenerate_single_point() {
-        let fig =
-            AsciiFigure::new("single").with_series(Series::new("s", vec![(3.0, 4.0)]));
+        let fig = AsciiFigure::new("single").with_series(Series::new("s", vec![(3.0, 4.0)]));
         let text = fig.render();
         assert!(text.contains('s'));
     }

@@ -184,7 +184,7 @@ mod tests {
         assert_eq!(h.total_count(), 100);
         assert_eq!(h.underflow(), 0);
         assert_eq!(h.overflow(), 0);
-        assert!(h.counts().iter().all(|&c| c >= 9 && c <= 11));
+        assert!(h.counts().iter().all(|&c| (9..=11).contains(&c)));
     }
 
     #[test]

@@ -190,11 +190,15 @@ mod tests {
 
     #[test]
     fn power_law_exponents_distinguish_linear_quadratic_and_three_halves() {
-        let linear: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64 * 10.0, 7.0 * i as f64 * 10.0)).collect();
-        let quadratic: Vec<(f64, f64)> =
-            (1..=8).map(|i| ((i as f64) * 10.0, ((i as f64) * 10.0).powi(2))).collect();
-        let three_halves: Vec<(f64, f64)> =
-            (1..=8).map(|i| ((i as f64) * 10.0, ((i as f64) * 10.0).powf(1.5))).collect();
+        let linear: Vec<(f64, f64)> = (1..=8)
+            .map(|i| (i as f64 * 10.0, 7.0 * i as f64 * 10.0))
+            .collect();
+        let quadratic: Vec<(f64, f64)> = (1..=8)
+            .map(|i| ((i as f64) * 10.0, ((i as f64) * 10.0).powi(2)))
+            .collect();
+        let three_halves: Vec<(f64, f64)> = (1..=8)
+            .map(|i| ((i as f64) * 10.0, ((i as f64) * 10.0).powf(1.5)))
+            .collect();
         assert!((fit_power_law(&linear).unwrap().exponent - 1.0).abs() < 1e-9);
         assert!((fit_power_law(&quadratic).unwrap().exponent - 2.0).abs() < 1e-9);
         assert!((fit_power_law(&three_halves).unwrap().exponent - 1.5).abs() < 1e-9);

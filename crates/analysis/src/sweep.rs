@@ -4,8 +4,8 @@
 //! measurement at each point of a parameter grid, several independent trials
 //! per point, with deterministic seeds so that re-running the experiment (or
 //! a benchmark derived from it) reproduces the same numbers. [`Sweep`] is
-//! that outer loop, with a crossbeam-scoped-thread parallel variant for the
-//! larger grids.
+//! that outer loop, with a scoped-thread parallel variant for the larger
+//! grids.
 
 use std::fmt::Debug;
 
@@ -72,8 +72,8 @@ impl<P: Clone + Send + Sync> Sweep<P> {
     }
 
     /// Evaluates `f` at every parameter value using up to `threads` worker
-    /// threads (crossbeam scoped threads), preserving the parameter order in
-    /// the returned vector.
+    /// threads (`std::thread::scope`), preserving the parameter order in the
+    /// returned vector.
     ///
     /// # Panics
     ///
@@ -93,9 +93,9 @@ impl<P: Clone + Send + Sync> Sweep<P> {
             (0..self.parameters.len()).map(|_| None).collect();
         let slot_refs: Vec<std::sync::Mutex<&mut Option<SweepPoint<P, R>>>> =
             slots.iter_mut().map(std::sync::Mutex::new).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     if index >= self.parameters.len() {
                         break;
@@ -106,8 +106,7 @@ impl<P: Clone + Send + Sync> Sweep<P> {
                     **slot = Some(SweepPoint { parameter, value });
                 });
             }
-        })
-        .expect("sweep worker panicked");
+        });
         drop(slot_refs);
         slots
             .into_iter()

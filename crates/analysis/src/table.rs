@@ -163,10 +163,7 @@ impl Table {
             out.push_str(&format!("**{title}**\n\n"));
         }
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            " --- |".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", " --- |".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -260,7 +257,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_float(f64::NAN), "-");
         assert_eq!(fmt_float(0.0), "0");
-        assert_eq!(fmt_float(3.14159), "3.142");
+        assert_eq!(fmt_float(1.23456), "1.235");
         assert!(fmt_float(123456.0).contains('e'));
         assert!(fmt_float(0.0001).contains('e'));
     }

@@ -1,13 +1,13 @@
 //! Bench target for E6 (Lemma 6, Theorems 7 and 9): local vs oracle routing
 //! on the double binary tree.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use faultnet_experiments::double_tree::{measure_connection_point, measure_tree_complexity};
 use faultnet_percolation::PercolationConfig;
 use faultnet_routing::complexity::ComplexityHarness;
 use faultnet_routing::tree::{LeafPenetrationRouter, PairedDfsOracleRouter};
 use faultnet_topology::double_tree::DoubleBinaryTree;
+use std::time::Duration;
 
 fn bench_connectivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("double_tree/connectivity");
@@ -15,9 +15,13 @@ fn bench_connectivity(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
     for &p in &[0.65f64, 0.71, 0.8] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("p_{p}")), &p, |b, &p| {
-            b.iter(|| measure_connection_point(10, p, 10, 3));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p_{p}")),
+            &p,
+            |b, &p| {
+                b.iter(|| measure_connection_point(10, p, 10, 3));
+            },
+        );
     }
     group.finish();
 }
@@ -28,13 +32,9 @@ fn bench_local_vs_oracle(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
     for &depth in &[5u32, 7, 9] {
-        group.bench_with_input(
-            BenchmarkId::new("combined", depth),
-            &depth,
-            |b, &depth| {
-                b.iter(|| measure_tree_complexity(depth, 0.8, 8, 5));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("combined", depth), &depth, |b, &depth| {
+            b.iter(|| measure_tree_complexity(depth, 0.8, 8, 5));
+        });
     }
     let tt = DoubleBinaryTree::new(8);
     let (x, y) = tt.roots();

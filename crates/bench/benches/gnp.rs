@@ -1,7 +1,6 @@
 //! Bench target for E7 (Theorems 10 and 11): local vs oracle routing on
 //! `G(n, p)` at growing `n`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faultnet_experiments::gnp::measure_gnp_point;
 use faultnet_percolation::PercolationConfig;
@@ -9,6 +8,7 @@ use faultnet_routing::complexity::ComplexityHarness;
 use faultnet_routing::gnp::{BidirectionalGrowthRouter, IncrementalLocalRouter};
 use faultnet_topology::complete::CompleteGraph;
 use faultnet_topology::Topology;
+use std::time::Duration;
 
 fn bench_size_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("gnp/size_scaling");

@@ -2,15 +2,15 @@
 //! of the `α = 1/2` transition, for the segment router and the flooding
 //! baseline.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use faultnet_experiments::hypercube_transition::measure_alpha_point;
 use faultnet_percolation::PercolationConfig;
-use faultnet_routing::complexity::ComplexityHarness;
 use faultnet_routing::bfs::FloodRouter;
+use faultnet_routing::complexity::ComplexityHarness;
 use faultnet_routing::hypercube::SegmentRouter;
 use faultnet_topology::hypercube::Hypercube;
 use faultnet_topology::Topology;
+use std::time::Duration;
 
 fn bench_alpha_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("hypercube_transition/segment_router");

@@ -1,12 +1,10 @@
 //! Bench target for E2 (Lemma 5 / Theorem 3(i)): the Monte-Carlo cut bound
 //! and the closed-form hypercube ball bound.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use faultnet_experiments::hypercube_lower_bound::compare_bound_to_measurement;
-use faultnet_routing::lower_bound::{
-    hypercube_ball_log_eta, hypercube_required_log_probes,
-};
+use faultnet_routing::lower_bound::{hypercube_ball_log_eta, hypercube_required_log_probes};
+use std::time::Duration;
 
 fn bench_closed_form(c: &mut Criterion) {
     let mut group = c.benchmark_group("lower_bound/closed_form");

@@ -1,9 +1,9 @@
 //! Bench target for E4 (Theorem 4): landmark routing on the supercritical
 //! mesh as a function of the distance, against the flooding baseline.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faultnet_experiments::mesh_routing::measure_mesh_point;
+use std::time::Duration;
 
 fn bench_distance_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("mesh_routing/landmark_vs_distance");
@@ -29,9 +29,13 @@ fn bench_near_threshold(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
     for &p in &[0.55f64, 0.7, 0.9] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("p_{p}")), &p, |b, &p| {
-            b.iter(|| measure_mesh_point(2, p, 16, 4, false, 13));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p_{p}")),
+            &p,
+            |b, &p| {
+                b.iter(|| measure_mesh_point(2, p, 16, 4, false, 13));
+            },
+        );
     }
     group.finish();
 }

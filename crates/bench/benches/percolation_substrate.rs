@@ -2,7 +2,6 @@
 //! (E5, E8): lazy sampling, component censuses, chemical distances, and
 //! threshold estimation.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faultnet_experiments::chemical_distance::measure_stretch_point;
 use faultnet_experiments::hypercube_giant::measure_hypercube_point;
@@ -13,6 +12,7 @@ use faultnet_percolation::PercolationConfig;
 use faultnet_topology::hypercube::Hypercube;
 use faultnet_topology::torus::Torus;
 use faultnet_topology::Topology;
+use std::time::Duration;
 
 fn bench_sampler(c: &mut Criterion) {
     let mut group = c.benchmark_group("percolation/sampler");

@@ -1,0 +1,79 @@
+//! The [`Arbitrary`] trait and the [`any`] entry point.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite doubles of both signs across ~120 binary orders of magnitude
+    /// (no NaN or infinities, unlike real proptest's `any::<f64>()`).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        let exponent = (rng.next_u64() % 121) as i32 - 60;
+        sign * rng.unit_f64() * (exponent as f64).exp2()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy covering the whole domain of `T`, mirroring `proptest::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::deterministic("any-u64");
+        let s = any::<u64>();
+        let distinct: std::collections::HashSet<u64> =
+            (0..32).map(|_| s.sample(&mut rng)).collect();
+        assert!(distinct.len() > 16);
+    }
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::deterministic("any-bool");
+        let s = any::<bool>();
+        let trues = (0..64).filter(|_| s.sample(&mut rng)).count();
+        assert!(trues > 10 && trues < 54);
+    }
+}

@@ -1,0 +1,94 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for collection strategies: either an exact size or
+/// a half-open range of sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(range: std::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements are drawn from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s of values drawn from `element`, with the given exact
+/// or ranged length, mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = TestRng::deterministic("vec-exact");
+        let s = vec(any::<u64>(), 5);
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut rng).len(), 5);
+        }
+    }
+
+    #[test]
+    fn ranged_size_spans_range() {
+        let mut rng = TestRng::deterministic("vec-ranged");
+        let s = vec(0u64..3, 2..6);
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+            lengths.insert(v.len());
+        }
+        assert_eq!(lengths.len(), 4);
+    }
+
+    #[test]
+    fn zero_length_vectors_allowed() {
+        let mut rng = TestRng::deterministic("vec-zero");
+        let s = vec(any::<u64>(), 0..2);
+        let empties = (0..100).filter(|_| s.sample(&mut rng).is_empty()).count();
+        assert!(empties > 20);
+    }
+}

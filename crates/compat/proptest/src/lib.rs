@@ -1,0 +1,237 @@
+//! Minimal, offline stand-in for the subset of the [`proptest`] crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace renames
+//! this crate onto the `proptest` dependency key (see the root `Cargo.toml`).
+//! It supports exactly the surface the `tests/properties.rs` suites exercise:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `arg in strategy` bindings,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * range strategies over the primitive integer and float types, tuples of
+//!   strategies, [`Strategy::prop_map`](strategy::Strategy::prop_map),
+//!   [`arbitrary::any`], and [`collection::vec`].
+//!
+//! Compared to the real crate there is **no shrinking** and no persisted
+//! failure seeds: inputs are drawn from a deterministic per-test generator,
+//! so every run of a given binary explores the same cases and failures
+//! reproduce immediately. Failure messages include the drawn inputs, which
+//! (with deterministic replay) recovers most of shrinking's debugging value
+//! at a tiny fraction of its complexity.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` random inputs and runs the body on
+/// each.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the
+/// [`ProptestConfig`](crate::test_runner::ProptestConfig) (most usefully the
+/// case count) for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands each test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($cfg:expr)
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                // Allow a healthy margin of `prop_assume!` rejections before
+                // settling for fewer cases than requested.
+                while accepted < config.cases && attempts < config.cases.saturating_mul(16) {
+                    attempts += 1;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(stringify!($arg));
+                        __inputs.push_str(" = ");
+                        __inputs.push_str(&::std::format!("{:?}", &$arg));
+                        __inputs.push_str("; ");
+                    )*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            ::std::panic!(
+                                "property `{}` failed on case {} of {}: {}\n  inputs: {}",
+                                stringify!($name), accepted + 1, config.cases, msg, __inputs
+                            );
+                        }
+                    }
+                }
+                // Mirror real proptest's too-many-rejects abort: a property
+                // that never (or rarely) gets past its assumptions must not
+                // pass vacuously.
+                ::std::assert!(
+                    accepted >= config.cases,
+                    "property `{}` rejected too many cases: only {} of {} accepted in {} attempts",
+                    stringify!($name), accepted, config.cases, attempts
+                );
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but reports the failing inputs instead of panicking
+/// directly; only usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Like `assert_ne!` for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (without counting it) when `cond` is false;
+/// only usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in -3i64..3, x in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u64..4, 0u64..4).prop_map(|(p, q)| (p, p + q))) {
+            prop_assert!(pair.1 >= pair.0);
+            prop_assert_ne!(pair.0, 4);
+        }
+
+        #[test]
+        fn assume_skips_without_failing(a in 0u64..10, b in 0u64..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn vec_with_fixed_and_ranged_size(fixed in crate::collection::vec(any::<u64>(), 3),
+                                          ranged in crate::collection::vec(0u64..5, 0..7)) {
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!(ranged.len() < 7);
+            prop_assert!(ranged.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn just_yields_constant(x in Just(17u32)) {
+            prop_assert_eq!(x, 17);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("fixed-name");
+        let mut b = crate::test_runner::TestRng::deterministic("fixed-name");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            fn always_fails(a in 0u64..2) {
+                prop_assert!(a > 10, "a is small");
+            }
+        }
+        always_fails();
+    }
+}

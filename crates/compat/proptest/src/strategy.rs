@@ -1,0 +1,195 @@
+//! The [`Strategy`] abstraction: a recipe for generating random values.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for drawing random values of type [`Strategy::Value`].
+///
+/// Unlike the real proptest there is no shrinking: a strategy is just a
+/// sampling function over the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy that draws from `self` and transforms the value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let offset = rng.below(span);
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "cannot sample an empty range");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                let offset = rng.below(span);
+                (*self.start() as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let v = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                // Rounding in the narrower type (f32 especially) can land
+                // exactly on the exclusive upper bound; keep the half-open
+                // contract.
+                if v < self.end {
+                    v
+                } else {
+                    self.start
+                }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn int_ranges_cover_and_respect_bounds() {
+        let mut rng = rng();
+        let s = -3i32..5;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let x = s.sample(&mut rng);
+            assert!((-3..5).contains(&x));
+            seen.insert(x);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn inclusive_range_reaches_endpoint() {
+        let mut rng = rng();
+        let s = 0u8..=1;
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = rng();
+        let s = 1.0f64..2.0;
+        for _ in 0..200 {
+            let x = s.sample(&mut rng);
+            assert!((1.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = rng();
+        let s = (0u64..10, 0u64..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(s.sample(&mut rng) < 19);
+        }
+    }
+
+    #[test]
+    fn reference_to_strategy_is_a_strategy() {
+        let mut rng = rng();
+        let s = 0u64..4;
+        let by_ref = &s;
+        assert!(by_ref.sample(&mut rng) < 4);
+    }
+}

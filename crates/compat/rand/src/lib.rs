@@ -1,0 +1,208 @@
+//! Minimal, offline stand-in for the subset of the [`rand`] crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace renames
+//! this crate onto the `rand` dependency key (see the root `Cargo.toml`).
+//! Only the API surface actually exercised by the `faultnet` crates is
+//! provided:
+//!
+//! * [`RngCore`] / [`Rng`] with [`Rng::gen_bool`] and [`Rng::gen_range`],
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`], a small, fast, deterministic generator
+//!   (SplitMix64-seeded xoshiro256++).
+//!
+//! The generator is *statistically* sound for simulation purposes but is not
+//! stream-compatible with the real `rand::rngs::StdRng`; seeded experiment
+//! results will differ numerically (not qualitatively) from runs against the
+//! real crate.
+//!
+//! [`rand`]: https://docs.rs/rand
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of uniformly distributed random 64-bit words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling helpers layered over [`RngCore`], mirroring
+/// `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "gen_bool probability must lie in [0, 1], got {p}"
+        );
+        // 53 significant bits -> uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Returns a uniform sample from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = range.end - range.start;
+        // Debiased multiply-shift (Lemire); span is tiny next to 2^64 in all
+        // workspace uses, so the retry loop effectively never iterates.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return range.start + (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a seed, mirroring
+/// `rand::SeedableRng` (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically derived from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 step: full-period bijective mixer used for seeding.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded via SplitMix64, as recommended by the xoshiro authors.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        for p in [0.1, 0.5, 0.9] {
+            let hits = (0..trials).filter(|_| rng.gen_bool(p)).count() as f64;
+            let freq = hits / trials as f64;
+            assert!((freq - p).abs() < 0.02, "freq {freq} too far from {p}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "gen_bool probability")]
+    fn gen_bool_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.gen_range(5..15);
+            assert!((5..15).contains(&x));
+            seen[(x - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should be reachable");
+    }
+
+    #[test]
+    fn works_through_mut_reference_and_dyn() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+            rng.gen_bool(0.5)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = sample(&mut rng);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let _ = sample(dynamic);
+    }
+}

@@ -207,12 +207,11 @@ impl AblationExperiment {
                 .to_string(),
         );
 
-        let mut mesh_table = Table::new(["per-gap search policy", "mean probes"]).with_title(
-            format!(
+        let mut mesh_table =
+            Table::new(["per-gap search policy", "mean probes"]).with_title(format!(
                 "mesh landmark escalation ablation (side {}, p = {}, {} trials)",
                 self.mesh_side, self.mesh_p, self.trials
-            ),
-        );
+            ));
         for (label, probes) in mesh_escalation_ablation(
             self.mesh_p,
             self.mesh_side,

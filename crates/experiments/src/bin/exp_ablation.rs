@@ -7,6 +7,10 @@ use faultnet_experiments::ablation::AblationExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { AblationExperiment::quick() } else { AblationExperiment::full() };
+    let experiment = if quick {
+        AblationExperiment::quick()
+    } else {
+        AblationExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

@@ -7,6 +7,10 @@ use faultnet_experiments::chemical_distance::ChemicalDistanceExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { ChemicalDistanceExperiment::quick() } else { ChemicalDistanceExperiment::full() };
+    let experiment = if quick {
+        ChemicalDistanceExperiment::quick()
+    } else {
+        ChemicalDistanceExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

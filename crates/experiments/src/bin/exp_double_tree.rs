@@ -7,6 +7,10 @@ use faultnet_experiments::double_tree::DoubleTreeExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { DoubleTreeExperiment::quick() } else { DoubleTreeExperiment::full() };
+    let experiment = if quick {
+        DoubleTreeExperiment::quick()
+    } else {
+        DoubleTreeExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

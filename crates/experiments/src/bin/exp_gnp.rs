@@ -7,6 +7,10 @@ use faultnet_experiments::gnp::GnpExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { GnpExperiment::quick() } else { GnpExperiment::full() };
+    let experiment = if quick {
+        GnpExperiment::quick()
+    } else {
+        GnpExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

@@ -7,6 +7,10 @@ use faultnet_experiments::hypercube_giant::HypercubeGiantExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { HypercubeGiantExperiment::quick() } else { HypercubeGiantExperiment::full() };
+    let experiment = if quick {
+        HypercubeGiantExperiment::quick()
+    } else {
+        HypercubeGiantExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

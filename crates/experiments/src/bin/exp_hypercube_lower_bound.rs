@@ -7,6 +7,10 @@ use faultnet_experiments::hypercube_lower_bound::HypercubeLowerBoundExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { HypercubeLowerBoundExperiment::quick() } else { HypercubeLowerBoundExperiment::full() };
+    let experiment = if quick {
+        HypercubeLowerBoundExperiment::quick()
+    } else {
+        HypercubeLowerBoundExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

@@ -7,6 +7,10 @@ use faultnet_experiments::hypercube_transition::HypercubeTransitionExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { HypercubeTransitionExperiment::quick() } else { HypercubeTransitionExperiment::full() };
+    let experiment = if quick {
+        HypercubeTransitionExperiment::quick()
+    } else {
+        HypercubeTransitionExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

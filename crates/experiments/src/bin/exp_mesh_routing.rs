@@ -7,6 +7,10 @@ use faultnet_experiments::mesh_routing::MeshRoutingExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { MeshRoutingExperiment::quick() } else { MeshRoutingExperiment::full() };
+    let experiment = if quick {
+        MeshRoutingExperiment::quick()
+    } else {
+        MeshRoutingExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

@@ -7,6 +7,10 @@ use faultnet_experiments::mesh_threshold::MeshThresholdExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { MeshThresholdExperiment::quick() } else { MeshThresholdExperiment::full() };
+    let experiment = if quick {
+        MeshThresholdExperiment::quick()
+    } else {
+        MeshThresholdExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

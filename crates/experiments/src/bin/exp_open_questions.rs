@@ -7,6 +7,10 @@ use faultnet_experiments::open_questions::OpenQuestionsExperiment;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick { OpenQuestionsExperiment::quick() } else { OpenQuestionsExperiment::full() };
+    let experiment = if quick {
+        OpenQuestionsExperiment::quick()
+    } else {
+        OpenQuestionsExperiment::full()
+    };
     println!("{}", experiment.run().render());
 }

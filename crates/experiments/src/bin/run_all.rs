@@ -10,7 +10,8 @@
 use faultnet_experiments::{
     ablation::AblationExperiment, chemical_distance::ChemicalDistanceExperiment,
     double_tree::DoubleTreeExperiment, gnp::GnpExperiment,
-    hypercube_giant::HypercubeGiantExperiment, hypercube_lower_bound::HypercubeLowerBoundExperiment,
+    hypercube_giant::HypercubeGiantExperiment,
+    hypercube_lower_bound::HypercubeLowerBoundExperiment,
     hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
     mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment,
     ExperimentReport,

@@ -34,12 +34,7 @@ pub struct StretchPoint {
 
 /// Measures the stretch of an axis-aligned pair at the given distance on a
 /// 2-dimensional torus.
-pub fn measure_stretch_point(
-    p: f64,
-    distance: u64,
-    trials: u32,
-    base_seed: u64,
-) -> StretchPoint {
+pub fn measure_stretch_point(p: f64, distance: u64, trials: u32, base_seed: u64) -> StretchPoint {
     let side = (2 * distance + 2).max(8);
     let torus = Torus::new(2, side);
     let u = torus.vertex_at(&[0, 0]);
@@ -155,10 +150,7 @@ impl ChemicalDistanceExperiment {
             let samples =
                 stretch_samples_over_instances(&torus, u, v, p, self.trials, self.base_seed ^ 0x77);
             if !samples.is_empty() {
-                let hist = Histogram::from_values(
-                    samples.iter().map(StretchSample::stretch),
-                    8,
-                );
+                let hist = Histogram::from_values(samples.iter().map(StretchSample::stretch), 8);
                 report.push_figure(format!(
                     "stretch distribution at p = {p}, distance {distance}\n{}",
                     hist.render(40)
@@ -178,7 +170,11 @@ mod tests {
         let point = measure_stretch_point(0.9, 12, 15, 3);
         assert!(point.connectivity_rate > 0.8);
         assert!(point.mean_stretch >= 1.0);
-        assert!(point.mean_stretch < 1.5, "mean stretch {}", point.mean_stretch);
+        assert!(
+            point.mean_stretch < 1.5,
+            "mean stretch {}",
+            point.mean_stretch
+        );
     }
 
     #[test]

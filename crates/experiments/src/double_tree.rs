@@ -42,7 +42,12 @@ pub struct ConnectionPoint {
 }
 
 /// Measures the root connectivity frequency of `TT_depth` at probability `p`.
-pub fn measure_connection_point(depth: u32, p: f64, trials: u32, base_seed: u64) -> ConnectionPoint {
+pub fn measure_connection_point(
+    depth: u32,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+) -> ConnectionPoint {
     let tt = DoubleBinaryTree::new(depth);
     let (x, y) = tt.roots();
     let mut hits = 0u32;
@@ -149,9 +154,11 @@ impl DoubleTreeExperiment {
 
         // (1) Connectivity scan.
         for (di, &depth) in self.connectivity_depths.iter().enumerate() {
-            let mut table = Table::new(["p", "measured Pr[x~y]", "exact recursion"]).with_title(
-                format!("TT_{depth} root connectivity ({} trials/point)", self.trials),
-            );
+            let mut table =
+                Table::new(["p", "measured Pr[x~y]", "exact recursion"]).with_title(format!(
+                    "TT_{depth} root connectivity ({} trials/point)",
+                    self.trials
+                ));
             let mut curve = Vec::new();
             for (pi, &p) in self.connectivity_ps.iter().enumerate() {
                 let seed = self
@@ -227,11 +234,12 @@ impl DoubleTreeExperiment {
                 fit.slope, fit.intercept, fit.r_squared
             ));
         }
-        let figure = AsciiFigure::new("probes vs depth (log y): local explodes, oracle stays linear")
-            .with_scales(Scale::Linear, Scale::Log)
-            .with_size(60, 16)
-            .with_series(Series::new("local", local_curve))
-            .with_series(Series::new("oracle", oracle_curve));
+        let figure =
+            AsciiFigure::new("probes vs depth (log y): local explodes, oracle stays linear")
+                .with_scales(Scale::Linear, Scale::Log)
+                .with_size(60, 16)
+                .with_series(Series::new("local", local_curve))
+                .with_series(Series::new("oracle", oracle_curve));
         report.push_figure(figure.render());
         report
     }

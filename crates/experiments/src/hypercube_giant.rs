@@ -93,8 +93,9 @@ impl HypercubeGiantExperiment {
         );
         for &n in &self.dimensions {
             // Giant-component scan at p = c/n.
-            let mut giant_table = Table::new(["c (p = c/n)", "p", "giant fraction"])
-                .with_title(format!("H_{{{n},p}} giant component scan ({} trials)", self.trials));
+            let mut giant_table = Table::new(["c (p = c/n)", "p", "giant fraction"]).with_title(
+                format!("H_{{{n},p}} giant component scan ({} trials)", self.trials),
+            );
             let mut giant_curve = Vec::new();
             for (i, &c) in self.giant_multipliers.iter().enumerate() {
                 let p = (c / n as f64).min(1.0);
@@ -115,8 +116,9 @@ impl HypercubeGiantExperiment {
             }
 
             // Connectivity scan around p = 1/2.
-            let mut conn_table = Table::new(["p", "giant fraction", "Pr[connected]"])
-                .with_title(format!("H_{{{n},p}} connectivity scan ({} trials)", self.trials));
+            let mut conn_table = Table::new(["p", "giant fraction", "Pr[connected]"]).with_title(
+                format!("H_{{{n},p}} connectivity scan ({} trials)", self.trials),
+            );
             let mut conn_curve = Vec::new();
             for (i, &p) in self.connectivity_ps.iter().enumerate() {
                 let point =
@@ -147,8 +149,16 @@ mod tests {
     fn giant_fraction_transitions_around_one_over_n() {
         let sub = measure_hypercube_point(10, 0.25 / 10.0, 6, 1);
         let sup = measure_hypercube_point(10, 3.0 / 10.0, 6, 1);
-        assert!(sub.giant_fraction < 0.2, "subcritical {}", sub.giant_fraction);
-        assert!(sup.giant_fraction > 0.4, "supercritical {}", sup.giant_fraction);
+        assert!(
+            sub.giant_fraction < 0.2,
+            "subcritical {}",
+            sub.giant_fraction
+        );
+        assert!(
+            sup.giant_fraction > 0.4,
+            "supercritical {}",
+            sup.giant_fraction
+        );
     }
 
     #[test]

@@ -39,7 +39,14 @@ pub struct MeshPoint {
 
 /// Builds the mesh and pair used for a distance-`distance` measurement: a
 /// `d`-dimensional mesh with a small margin around a straight pair.
-fn mesh_and_pair(dimension: u32, distance: u64) -> (Mesh, faultnet_topology::VertexId, faultnet_topology::VertexId) {
+fn mesh_and_pair(
+    dimension: u32,
+    distance: u64,
+) -> (
+    Mesh,
+    faultnet_topology::VertexId,
+    faultnet_topology::VertexId,
+) {
     let margin = 2u64;
     let side = distance + 2 * margin + 1;
     let mesh = Mesh::new(dimension, side);

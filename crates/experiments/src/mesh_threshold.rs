@@ -60,8 +60,8 @@ impl MeshThresholdExperiment {
             "E8b: mesh percolation thresholds",
             "§1.2 background — p_c² = 1/2, p_c^d decreasing in d (applicability boundary of Theorem 4)",
         );
-        let mut estimates = Table::new(["d", "side", "estimated p_c", "reference"])
-            .with_title(format!(
+        let mut estimates =
+            Table::new(["d", "side", "estimated p_c", "reference"]).with_title(format!(
                 "threshold estimates (giant fraction crossing {}, tolerance {})",
                 self.target_fraction, self.tolerance
             ));

@@ -29,6 +29,10 @@ use faultnet_topology::Topology;
 
 use crate::report::{Effort, ExperimentReport};
 
+/// Per-family sweep output: the rendered table plus the `(p, giant fraction)`
+/// and `(p, normalised flood cost)` curves used for threshold comparison.
+type FamilyMeasurement = (Table, Vec<(f64, f64)>, Vec<(f64, f64)>);
+
 /// Measurements for one family at one retention probability.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FamilyPoint {
@@ -108,11 +112,7 @@ impl OpenQuestionsExperiment {
         Self::with_effort(Effort::Full)
     }
 
-    fn family_table<T: Topology + Clone>(
-        &self,
-        graph: &T,
-        seed_offset: u64,
-    ) -> (Table, Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    fn family_table<T: Topology + Clone>(&self, graph: &T, seed_offset: u64) -> FamilyMeasurement {
         let mut table = Table::new([
             "p",
             "giant fraction",

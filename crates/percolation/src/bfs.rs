@@ -110,8 +110,8 @@ pub fn bfs<T: Topology, S: EdgeStates>(
             }
         }
         for w in gp.open_neighbors(v) {
-            if !dist.contains_key(&w) {
-                dist.insert(w, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(w) {
+                slot.insert(d + 1);
                 parent.insert(w, v);
                 if options.target == Some(w) {
                     break 'outer;
@@ -249,7 +249,10 @@ mod tests {
         assert!(!tree.reached(VertexId(2)));
         assert_eq!(tree.path_to(VertexId(3)), None);
         assert!(!connected(&mesh, &sample, VertexId(0), VertexId(3)));
-        assert_eq!(percolation_distance(&mesh, &sample, VertexId(0), VertexId(3)), None);
+        assert_eq!(
+            percolation_distance(&mesh, &sample, VertexId(0), VertexId(3)),
+            None
+        );
     }
 
     #[test]

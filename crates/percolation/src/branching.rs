@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn double_tree_threshold_behaviour() {
         let pc = double_tree_critical_probability();
-        assert!((pc - 0.7071067811865476).abs() < 1e-12);
+        assert!((pc - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
         // below the threshold the connection probability vanishes with depth
         assert!(double_tree_connection_probability(0.65, 60) < 0.02);
         // above the threshold it stays bounded away from zero

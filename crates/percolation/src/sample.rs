@@ -27,7 +27,11 @@ pub trait EdgeStates {
     fn is_open(&self, edge: EdgeId) -> bool;
 
     /// Convenience wrapper: state of the edge `{a, b}` given its endpoints.
-    fn is_open_between(&self, a: faultnet_topology::VertexId, b: faultnet_topology::VertexId) -> bool {
+    fn is_open_between(
+        &self,
+        a: faultnet_topology::VertexId,
+        b: faultnet_topology::VertexId,
+    ) -> bool {
         self.is_open(EdgeId::new(a, b))
     }
 }

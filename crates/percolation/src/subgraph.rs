@@ -88,8 +88,9 @@ impl<'a, T: Topology, S: EdgeStates> PercolatedGraph<'a, T, S> {
         if path.is_empty() {
             return false;
         }
-        path.windows(2)
-            .all(|w| self.graph.has_edge(w[0], w[1]) && self.states.is_open(EdgeId::new(w[0], w[1])))
+        path.windows(2).all(|w| {
+            self.graph.has_edge(w[0], w[1]) && self.states.is_open(EdgeId::new(w[0], w[1]))
+        })
     }
 }
 

@@ -16,12 +16,7 @@ use crate::PercolationConfig;
 
 /// Mean giant-component fraction of `graph` at probability `p`, averaged over
 /// `trials` independent instances derived from `base_seed`.
-pub fn mean_giant_fraction<T: Topology>(
-    graph: &T,
-    p: f64,
-    trials: u32,
-    base_seed: u64,
-) -> f64 {
+pub fn mean_giant_fraction<T: Topology>(graph: &T, p: f64, trials: u32, base_seed: u64) -> f64 {
     assert!(trials > 0, "at least one trial is required");
     let mut total = 0.0;
     for t in 0..trials {
@@ -96,7 +91,9 @@ pub fn estimate_threshold<T: Topology>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faultnet_topology::{complete::CompleteGraph, hypercube::Hypercube, mesh::Mesh, torus::Torus};
+    use faultnet_topology::{
+        complete::CompleteGraph, hypercube::Hypercube, mesh::Mesh, torus::Torus,
+    };
 
     #[test]
     fn giant_fraction_is_monotone_in_p() {

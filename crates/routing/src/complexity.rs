@@ -201,7 +201,13 @@ impl<T: Topology> ComplexityHarness<T> {
 
     /// Runs a single conditioned trial with the given seed, or `None` if the
     /// conditioning event `{u ∼ v}` fails in that instance.
-    pub fn run_trial<R>(&self, router: &R, u: VertexId, v: VertexId, seed: u64) -> Option<TrialResult>
+    pub fn run_trial<R>(
+        &self,
+        router: &R,
+        u: VertexId,
+        v: VertexId,
+        seed: u64,
+    ) -> Option<TrialResult>
     where
         R: Router<T, faultnet_percolation::EdgeSampler>,
     {

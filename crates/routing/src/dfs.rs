@@ -116,8 +116,7 @@ impl<T: Topology, S: EdgeStates> Router<T, S> for DepthFirstRouter {
         let mut parent: HashMap<VertexId, VertexId> = HashMap::new();
         // Explicit stack of (vertex, neighbors yet to try).
         let mut stack = vec![(source, self.ordered_neighbors(graph, source, target))];
-        loop {
-            let Some(top) = stack.last_mut() else { break };
+        while let Some(top) = stack.last_mut() {
             let v = top.0;
             let Some(w) = top.1.pop() else {
                 stack.pop();
@@ -163,7 +162,9 @@ mod tests {
         for seed in 0..15 {
             let sampler = PercolationConfig::new(0.6, seed).sampler();
             let mut engine = ProbeEngine::local(&grid, &sampler, u);
-            let outcome = DepthFirstRouter::default().route(&mut engine, u, v).unwrap();
+            let outcome = DepthFirstRouter::default()
+                .route(&mut engine, u, v)
+                .unwrap();
             assert_eq!(
                 outcome.is_success(),
                 connected(&grid, &sampler, u, v),
@@ -221,7 +222,9 @@ mod tests {
             NeighborOrder::GreedyTowardsTarget,
         ] {
             let mut engine = ProbeEngine::local(&grid, &sampler, u);
-            let outcome = DepthFirstRouter::new(order).route(&mut engine, u, v).unwrap();
+            let outcome = DepthFirstRouter::new(order)
+                .route(&mut engine, u, v)
+                .unwrap();
             assert_eq!(outcome.is_success(), connected(&grid, &sampler, u, v));
         }
     }

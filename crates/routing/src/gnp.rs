@@ -73,10 +73,11 @@ impl<S: EdgeStates> Router<CompleteGraph, S> for IncrementalLocalRouter {
 
         // Whenever a vertex is discovered, its edge to the target is probed
         // immediately (the cheapest possible way to finish).
-        let check_target =
-            |engine: &mut ProbeEngine<'_, CompleteGraph, S>,
-             w: VertexId|
-             -> Result<bool, RouteError> { Ok(w != target && engine.probe_between(w, target)?) };
+        let check_target = |engine: &mut ProbeEngine<'_, CompleteGraph, S>,
+                            w: VertexId|
+         -> Result<bool, RouteError> {
+            Ok(w != target && engine.probe_between(w, target)?)
+        };
 
         if check_target(engine, source)? {
             return Ok(RouteOutcome::from_engine(
@@ -332,7 +333,9 @@ mod tests {
         for seed in 0..15 {
             let sampler = PercolationConfig::new(p, seed).sampler();
             let mut engine = ProbeEngine::local(&k, &sampler, u);
-            let outcome = IncrementalLocalRouter::new().route(&mut engine, u, v).unwrap();
+            let outcome = IncrementalLocalRouter::new()
+                .route(&mut engine, u, v)
+                .unwrap();
             assert_eq!(
                 outcome.is_success(),
                 connected(&k, &sampler, u, v),
@@ -386,7 +389,9 @@ mod tests {
             let mut le = ProbeEngine::local(&k, &sampler, u);
             let lo = IncrementalLocalRouter::new().route(&mut le, u, v).unwrap();
             let mut oe = ProbeEngine::oracle(&k, &sampler);
-            let oo = BidirectionalGrowthRouter::new().route(&mut oe, u, v).unwrap();
+            let oo = BidirectionalGrowthRouter::new()
+                .route(&mut oe, u, v)
+                .unwrap();
             assert!(lo.is_success() && oo.is_success());
             local_total += lo.probes;
             oracle_total += oo.probes;
@@ -408,7 +413,9 @@ mod tests {
         let lo = IncrementalLocalRouter::new().route(&mut le, u, v).unwrap();
         assert_eq!(lo.path.unwrap().len(), 1);
         let mut oe = ProbeEngine::oracle(&k, &sampler);
-        let oo = BidirectionalGrowthRouter::new().route(&mut oe, u, v).unwrap();
+        let oo = BidirectionalGrowthRouter::new()
+            .route(&mut oe, u, v)
+            .unwrap();
         assert_eq!(oo.path.unwrap().len(), 1);
         assert_eq!(oo.probes, 1);
     }

@@ -361,7 +361,9 @@ mod tests {
             }
             let mut e1 = ProbeEngine::local(&cube, &sampler, u);
             let mut e2 = ProbeEngine::local(&cube, &sampler, u);
-            let seg = SegmentRouter::for_alpha(0.25, 8).route(&mut e1, u, v).unwrap();
+            let seg = SegmentRouter::for_alpha(0.25, 8)
+                .route(&mut e1, u, v)
+                .unwrap();
             let flood = FloodRouter::new().route(&mut e2, u, v).unwrap();
             assert!(seg.is_success() && flood.is_success());
             seg_total += seg.probes;

@@ -173,11 +173,8 @@ impl<T: Topology, S: EdgeStates> Router<T, S> for LandmarkBfsRouter {
             ))
         })?;
         // Rank of each landmark along the geodesic.
-        let rank: HashMap<VertexId, usize> = landmarks
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (*v, i))
-            .collect();
+        let rank: HashMap<VertexId, usize> =
+            landmarks.iter().enumerate().map(|(i, v)| (*v, i)).collect();
         let final_rank = landmarks.len() - 1;
 
         let mut full_path: Vec<VertexId> = vec![source];
@@ -225,7 +222,10 @@ impl<T: Topology, S: EdgeStates> Router<T, S> for LandmarkBfsRouter {
                 }
             }
         }
-        Ok(RouteOutcome::from_engine(engine, Some(Path::new(full_path))))
+        Ok(RouteOutcome::from_engine(
+            engine,
+            Some(Path::new(full_path)),
+        ))
     }
 }
 

@@ -338,12 +338,44 @@ mod tests {
         // connected within S because the path must pass through 2.
         let mesh = Mesh::new(1, 4);
         let sampler = PercolationConfig::new(1.0, 0).sampler();
-        let s: HashSet<VertexId> = [VertexId(0), VertexId(1), VertexId(3)].into_iter().collect();
-        assert!(connected_within(&mesh, &sampler, &s, VertexId(0), VertexId(1)));
-        assert!(!connected_within(&mesh, &sampler, &s, VertexId(0), VertexId(3)));
-        assert!(!connected_within(&mesh, &sampler, &s, VertexId(0), VertexId(2)));
-        assert!(connected_within(&mesh, &sampler, &s, VertexId(3), VertexId(3)));
-        assert!(!connected_within(&mesh, &sampler, &s, VertexId(2), VertexId(2)));
+        let s: HashSet<VertexId> = [VertexId(0), VertexId(1), VertexId(3)]
+            .into_iter()
+            .collect();
+        assert!(connected_within(
+            &mesh,
+            &sampler,
+            &s,
+            VertexId(0),
+            VertexId(1)
+        ));
+        assert!(!connected_within(
+            &mesh,
+            &sampler,
+            &s,
+            VertexId(0),
+            VertexId(3)
+        ));
+        assert!(!connected_within(
+            &mesh,
+            &sampler,
+            &s,
+            VertexId(0),
+            VertexId(2)
+        ));
+        assert!(connected_within(
+            &mesh,
+            &sampler,
+            &s,
+            VertexId(3),
+            VertexId(3)
+        ));
+        assert!(!connected_within(
+            &mesh,
+            &sampler,
+            &s,
+            VertexId(2),
+            VertexId(2)
+        ));
     }
 
     #[test]
@@ -351,10 +383,7 @@ mod tests {
         let cube = Hypercube::new(7);
         let v = VertexId(0);
         let s = hypercube_ball_cut(&cube, v, 2);
-        let x = *s
-            .iter()
-            .find(|x| cube.distance(v, **x) == Some(2))
-            .unwrap();
+        let x = *s.iter().find(|x| cube.distance(v, **x) == Some(2)).unwrap();
         let lo = restricted_connection_probability(&cube, 0.2, &s, v, x, 60, 3);
         let hi = restricted_connection_probability(&cube, 0.8, &s, v, x, 60, 3);
         assert!((0.0..=1.0).contains(&lo));
@@ -371,10 +400,7 @@ mod tests {
         let s: HashSet<VertexId> = tt
             .vertices()
             .filter(|v| {
-                !matches!(
-                    tt.side(*v),
-                    faultnet_topology::double_tree::TreeSide::First
-                ) || *v == y
+                !matches!(tt.side(*v), faultnet_topology::double_tree::TreeSide::First) || *v == y
             })
             .collect();
         // S = everything except the first tree's internal nodes; v = y ∈ S,

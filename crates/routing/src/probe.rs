@@ -123,12 +123,7 @@ impl<'a, T: Topology, S: EdgeStates> ProbeEngine<'a, T, S> {
     }
 
     /// Creates an engine matching `locality` (local engines start at `start`).
-    pub fn with_locality(
-        graph: &'a T,
-        states: &'a S,
-        locality: Locality,
-        start: VertexId,
-    ) -> Self {
+    pub fn with_locality(graph: &'a T, states: &'a S, locality: Locality, start: VertexId) -> Self {
         match locality {
             Locality::Local => ProbeEngine::local(graph, states, start),
             Locality::Oracle => ProbeEngine::oracle(graph, states),
@@ -357,7 +352,9 @@ mod tests {
     #[test]
     fn error_display() {
         let e = EdgeId::new(VertexId(0), VertexId(1));
-        assert!(ProbeError::NotAnEdge { edge: e }.to_string().contains("not an edge"));
+        assert!(ProbeError::NotAnEdge { edge: e }
+            .to_string()
+            .contains("not an edge"));
         assert!(ProbeError::LocalityViolation { edge: e }
             .to_string()
             .contains("local probe"));

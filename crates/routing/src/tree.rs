@@ -226,7 +226,9 @@ mod tests {
         for seed in 0..15 {
             let sampler = PercolationConfig::new(0.85, seed).sampler();
             let mut engine = ProbeEngine::local(&tt, &sampler, x);
-            let outcome = LeafPenetrationRouter::new().route(&mut engine, x, y).unwrap();
+            let outcome = LeafPenetrationRouter::new()
+                .route(&mut engine, x, y)
+                .unwrap();
             assert_eq!(
                 outcome.is_success(),
                 connected(&tt, &sampler, x, y),
@@ -245,7 +247,9 @@ mod tests {
         let (x, y) = tt.roots();
         let sampler = PercolationConfig::new(1.0, 0).sampler();
         let mut engine = ProbeEngine::local(&tt, &sampler, x);
-        let outcome = LeafPenetrationRouter::new().route(&mut engine, x, y).unwrap();
+        let outcome = LeafPenetrationRouter::new()
+            .route(&mut engine, x, y)
+            .unwrap();
         let path = outcome.path.unwrap();
         // shortest possible root-to-root path has length 2n
         assert!(path.len() as u64 >= 8);
@@ -260,7 +264,9 @@ mod tests {
         for seed in 0..30 {
             let sampler = PercolationConfig::new(0.9, seed).sampler();
             let mut engine = ProbeEngine::oracle(&tt, &sampler);
-            let outcome = PairedDfsOracleRouter::new().route(&mut engine, x, y).unwrap();
+            let outcome = PairedDfsOracleRouter::new()
+                .route(&mut engine, x, y)
+                .unwrap();
             if let Some(path) = outcome.path {
                 successes += 1;
                 assert!(path.is_valid_open_path(&tt, &sampler));
@@ -280,7 +286,9 @@ mod tests {
         for seed in 0..20 {
             let sampler = PercolationConfig::new(0.8, seed).sampler();
             let mut engine = ProbeEngine::oracle(&tt, &sampler);
-            let outcome = PairedDfsOracleRouter::new().route(&mut engine, x, y).unwrap();
+            let outcome = PairedDfsOracleRouter::new()
+                .route(&mut engine, x, y)
+                .unwrap();
             if outcome.is_success() {
                 assert!(connected(&tt, &sampler, x, y), "seed {seed}");
             }
@@ -304,7 +312,9 @@ mod tests {
         let (x, y) = tt.roots();
         let sampler = PercolationConfig::new(1.0, 0).sampler();
         let mut engine = ProbeEngine::oracle(&tt, &sampler);
-        let outcome = PairedDfsOracleRouter::new().route(&mut engine, y, x).unwrap();
+        let outcome = PairedDfsOracleRouter::new()
+            .route(&mut engine, y, x)
+            .unwrap();
         let path = outcome.path.unwrap();
         assert!(path.connects(y, x));
         assert!(path.is_valid_open_path(&tt, &sampler));

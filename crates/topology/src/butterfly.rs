@@ -112,7 +112,7 @@ impl Topology for Butterfly {
         // level-to-level distance is trivial. Leave to BFS.
         let (lu, ru) = self.level_row(u);
         let (lv, rv) = self.level_row(v);
-        if ru == rv && (lu as i64 - lv as i64).unsigned_abs() as u64 >= self.dimension as u64 {
+        if ru == rv && (lu as i64 - lv as i64).unsigned_abs() >= self.dimension as u64 {
             // Same row, levels at least n apart: the straight path is a geodesic.
             return Some((lu as i64 - lv as i64).unsigned_abs());
         }

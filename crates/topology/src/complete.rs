@@ -132,7 +132,10 @@ mod tests {
             k.geodesic(VertexId(1), VertexId(3)),
             Some(vec![VertexId(1), VertexId(3)])
         );
-        assert_eq!(k.geodesic(VertexId(2), VertexId(2)), Some(vec![VertexId(2)]));
+        assert_eq!(
+            k.geodesic(VertexId(2), VertexId(2)),
+            Some(vec![VertexId(2)])
+        );
     }
 
     #[test]

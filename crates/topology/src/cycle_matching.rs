@@ -171,8 +171,14 @@ mod tests {
     #[test]
     fn invariants_hold_for_both_kinds() {
         check_topology_invariants(&CycleWithMatching::new(16, MatchingKind::Antipodal));
-        check_topology_invariants(&CycleWithMatching::new(16, MatchingKind::Random { seed: 3 }));
-        check_topology_invariants(&CycleWithMatching::new(30, MatchingKind::Random { seed: 9 }));
+        check_topology_invariants(&CycleWithMatching::new(
+            16,
+            MatchingKind::Random { seed: 3 },
+        ));
+        check_topology_invariants(&CycleWithMatching::new(
+            30,
+            MatchingKind::Random { seed: 9 },
+        ));
     }
 
     #[test]

@@ -133,7 +133,7 @@ mod tests {
         let g = DeBruijn::new(8);
         for v in g.vertices() {
             let d = g.degree(v);
-            assert!(d >= 2 && d <= 4, "degree {d} at {v}");
+            assert!((2..=4).contains(&d), "degree {d} at {v}");
         }
     }
 

@@ -122,12 +122,11 @@ impl Hypercube {
     /// Number of vertices in a ball of the given radius, `Σ_{i≤r} C(n, i)`.
     pub fn ball_size(&self, radius: u32) -> u64 {
         let n = self.dimension as u64;
-        let mut total: u64 = 0;
+        // The i = 0 term is 1; each later binomial follows by the ratio rule.
+        let mut total: u64 = 1;
         let mut binom: u64 = 1;
-        for i in 0..=radius.min(self.dimension) as u64 {
-            if i > 0 {
-                binom = binom * (n - i + 1) / i;
-            }
+        for i in 1..=radius.min(self.dimension) as u64 {
+            binom = binom * (n - i + 1) / i;
             total = total.saturating_add(binom);
         }
         total

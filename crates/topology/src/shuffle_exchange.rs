@@ -82,7 +82,11 @@ impl Topology for ShuffleExchange {
     fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
         assert!(self.contains(v), "vertex {v} out of range");
         let mut out: Vec<VertexId> = Vec::with_capacity(3);
-        for w in [self.exchange(v), self.shuffle_left(v), self.shuffle_right(v)] {
+        for w in [
+            self.exchange(v),
+            self.shuffle_left(v),
+            self.shuffle_right(v),
+        ] {
             if w != v && !out.contains(&w) {
                 out.push(w);
             }

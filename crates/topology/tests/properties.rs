@@ -20,10 +20,6 @@ use faultnet_topology::{
 };
 use proptest::prelude::*;
 
-fn vertex_pair(n: u64) -> impl Strategy<Value = (VertexId, VertexId)> {
-    (0..n, 0..n).prop_map(|(a, b)| (VertexId(a), VertexId(b)))
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -162,7 +158,10 @@ fn invariants_across_all_families() {
     check_topology_invariants(&BinaryTree::new(5));
     check_topology_invariants(&CompleteGraph::new(12));
     check_topology_invariants(&CycleWithMatching::new(20, MatchingKind::Antipodal));
-    check_topology_invariants(&CycleWithMatching::new(20, MatchingKind::Random { seed: 1 }));
+    check_topology_invariants(&CycleWithMatching::new(
+        20,
+        MatchingKind::Random { seed: 1 },
+    ));
     check_topology_invariants(&DeBruijn::new(6));
     check_topology_invariants(&ShuffleExchange::new(6));
     check_topology_invariants(&Butterfly::new(4));

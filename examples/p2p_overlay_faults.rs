@@ -49,7 +49,10 @@ fn main() {
 
     for failure in [0.05, 0.2, 0.4, 0.6, 0.7, 0.8] {
         let p = 1.0 - failure;
-        let harness = ComplexityHarness::new(overlay, PercolationConfig::new(p, 7_000 + (failure * 100.0) as u64));
+        let harness = ComplexityHarness::new(
+            overlay,
+            PercolationConfig::new(p, 7_000 + (failure * 100.0) as u64),
+        );
         let greedy = harness.measure(&GreedyHypercubeRouter::with_detours(50_000), u, v, trials);
         let segment = harness.measure(&SegmentRouter::default(), u, v, trials);
         let flood = harness.measure(&FloodRouter::new(), u, v, trials);

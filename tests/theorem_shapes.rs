@@ -115,17 +115,33 @@ fn gnp_oracle_advantage_grows_with_n() {
 fn conditioning_and_reproducibility() {
     let cube = Hypercube::new(8);
     let (u, v) = cube.canonical_pair();
-    let empty = ComplexityHarness::new(cube, PercolationConfig::new(0.0, 1))
-        .measure(&FloodRouter::new(), u, v, 5);
+    let empty = ComplexityHarness::new(cube, PercolationConfig::new(0.0, 1)).measure(
+        &FloodRouter::new(),
+        u,
+        v,
+        5,
+    );
     assert_eq!(empty.conditioned_trials(), 0);
-    let full = ComplexityHarness::new(cube, PercolationConfig::new(1.0, 1))
-        .measure(&FloodRouter::new(), u, v, 5);
+    let full = ComplexityHarness::new(cube, PercolationConfig::new(1.0, 1)).measure(
+        &FloodRouter::new(),
+        u,
+        v,
+        5,
+    );
     assert_eq!(full.conditioned_trials(), 5);
 
-    let a = ComplexityHarness::new(cube, PercolationConfig::new(0.5, 99))
-        .measure(&SegmentRouter::default(), u, v, 10);
-    let b = ComplexityHarness::new(cube, PercolationConfig::new(0.5, 99))
-        .measure(&SegmentRouter::default(), u, v, 10);
+    let a = ComplexityHarness::new(cube, PercolationConfig::new(0.5, 99)).measure(
+        &SegmentRouter::default(),
+        u,
+        v,
+        10,
+    );
+    let b = ComplexityHarness::new(cube, PercolationConfig::new(0.5, 99)).measure(
+        &SegmentRouter::default(),
+        u,
+        v,
+        10,
+    );
     assert_eq!(a.probe_counts(), b.probe_counts());
 }
 
