@@ -6,9 +6,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use faultnet_experiments::chemical_distance::measure_stretch_point;
 use faultnet_experiments::hypercube_giant::measure_hypercube_point;
 use faultnet_percolation::components::ComponentCensus;
-use faultnet_percolation::sample::EdgeStates;
+use faultnet_percolation::sample::{BitsetSample, EdgeStates, FrozenSample};
 use faultnet_percolation::threshold::mean_giant_fraction;
 use faultnet_percolation::PercolationConfig;
+use faultnet_routing::bfs::FloodRouter;
+use faultnet_routing::complexity::ComplexityHarness;
 use faultnet_topology::hypercube::Hypercube;
 use faultnet_topology::torus::Torus;
 use faultnet_topology::Topology;
@@ -25,6 +27,70 @@ fn bench_sampler(c: &mut Criterion) {
     group.bench_function("lazy_edge_states", |b| {
         b.iter(|| edges.iter().filter(|e| sampler.is_open(**e)).count())
     });
+    group.finish();
+}
+
+/// Lazy hashing vs materialised stores, measured as `is_open` throughput
+/// over every edge of the 12-cube (the access pattern of a component census
+/// or chemical-distance BFS, which touches each edge from both endpoints).
+fn bench_is_open_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation/is_open_backends");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let cube = Hypercube::new(12);
+    let sampler = PercolationConfig::new(0.5, 3).sampler();
+    let bitset = BitsetSample::from_states(&cube, &sampler);
+    let frozen = FrozenSample::from_sampler(&cube, &sampler);
+    let edges = cube.edges();
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("lazy_hash_per_query", |b| {
+        b.iter(|| edges.iter().filter(|e| sampler.is_open(**e)).count())
+    });
+    group.bench_function("bitset_bit_read", |b| {
+        b.iter(|| edges.iter().filter(|e| bitset.is_open(**e)).count())
+    });
+    group.bench_function("frozen_hashset_probe", |b| {
+        b.iter(|| edges.iter().filter(|e| frozen.is_open(**e)).count())
+    });
+    group.bench_function("bitset_build", |b| {
+        b.iter(|| BitsetSample::from_states(&cube, &sampler).num_open())
+    });
+    group.finish();
+}
+
+/// Sequential vs parallel conditioned-trial measurement on one harness
+/// configuration. The two paths produce bit-identical `ComplexityStats`;
+/// only wall-clock differs (on multi-core machines).
+fn bench_harness_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation/harness_threads");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let cube = Hypercube::new(10);
+    let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.45, 7));
+    let (u, v) = cube.canonical_pair();
+    let trials = 8;
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            harness
+                .measure(&FloodRouter::new(), u, v, trials)
+                .successes()
+        })
+    });
+    for &threads in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    harness
+                        .measure_parallel(&FloodRouter::new(), u, v, trials, threads)
+                        .successes()
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -54,10 +120,10 @@ fn bench_thresholds_and_stretch(c: &mut Criterion) {
         b.iter(|| mean_giant_fraction(&torus, 0.55, 3, 11))
     });
     group.bench_function("chemical_stretch_d16", |b| {
-        b.iter(|| measure_stretch_point(0.7, 16, 6, 3))
+        b.iter(|| measure_stretch_point(0.7, 16, 6, 3, 1))
     });
     group.bench_function("hypercube_giant_point_n10", |b| {
-        b.iter(|| measure_hypercube_point(10, 0.15, 4, 5))
+        b.iter(|| measure_hypercube_point(10, 0.15, 4, 5, 1))
     });
     group.finish();
 }
@@ -65,6 +131,8 @@ fn bench_thresholds_and_stretch(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sampler,
+    bench_is_open_backends,
+    bench_harness_parallelism,
     bench_component_census,
     bench_thresholds_and_stretch
 );

@@ -16,7 +16,7 @@
 
 use faultnet_analysis::stats::Summary;
 use faultnet_analysis::table::{fmt_float, Table};
-use faultnet_percolation::sample::{EdgeStates, FrozenSample};
+use faultnet_percolation::sample::{BitsetSample, EdgeStates, FrozenSample};
 use faultnet_percolation::PercolationConfig;
 use faultnet_routing::bfs::FloodRouter;
 use faultnet_routing::complexity::ComplexityHarness;
@@ -43,17 +43,20 @@ pub struct RouterAblationRow {
     pub median_probes: f64,
 }
 
-/// Runs the hypercube router ablation at one `(n, p)` point.
+/// Runs the hypercube router ablation at one `(n, p)` point, fanning the
+/// conditioned trials across `threads` workers (1 = sequential; the result
+/// is identical either way).
 pub fn hypercube_router_ablation(
     dimension: u32,
     p: f64,
     trials: u32,
     base_seed: u64,
+    threads: usize,
 ) -> Vec<RouterAblationRow> {
     let cube = Hypercube::new(dimension);
     let (u, v) = cube.canonical_pair();
     let harness = ComplexityHarness::new(cube, PercolationConfig::new(p, base_seed));
-    let routers: Vec<Box<dyn Router<Hypercube, faultnet_percolation::EdgeSampler>>> = vec![
+    let routers: Vec<Box<dyn Router<Hypercube, faultnet_percolation::EdgeSampler> + Sync>> = vec![
         Box::new(GreedyHypercubeRouter::strict()),
         Box::new(GreedyHypercubeRouter::with_detours(100_000)),
         Box::new(DepthFirstRouter::new(NeighborOrder::GreedyTowardsTarget)),
@@ -63,7 +66,7 @@ pub fn hypercube_router_ablation(
     routers
         .iter()
         .map(|router| {
-            let stats = harness.measure(router, u, v, trials);
+            let stats = harness.measure_parallel(router, u, v, trials, threads);
             let summary = Summary::from_counts(stats.probe_counts().iter().copied());
             RouterAblationRow {
                 router: router.name(),
@@ -82,6 +85,7 @@ pub fn mesh_escalation_ablation(
     side: u64,
     trials: u32,
     base_seed: u64,
+    threads: usize,
 ) -> Vec<(String, f64)> {
     let mesh = Mesh::new(2, side);
     let (u, v) = mesh.canonical_pair();
@@ -100,7 +104,7 @@ pub fn mesh_escalation_ablation(
     variants
         .into_iter()
         .map(|(label, router)| {
-            let stats = harness.measure(&router, u, v, trials);
+            let stats = harness.measure_parallel(&router, u, v, trials, threads);
             (
                 label,
                 Summary::from_counts(stats.probe_counts().iter().copied()).mean(),
@@ -109,13 +113,16 @@ pub fn mesh_escalation_ablation(
         .collect()
 }
 
-/// Checks that the lazy sampler and an eagerly frozen copy agree on every
-/// edge of the given hypercube instance; returns `(edges, open_edges,
-/// disagreements)`.
+/// Checks that the lazy sampler, an eagerly frozen copy, and the bitset
+/// materialisation all agree on every edge of the given hypercube instance;
+/// returns `(edges, open_edges, disagreements)` where a disagreement is any
+/// edge on which one of the materialised views differs from the lazy
+/// sampler.
 pub fn sampling_agreement(dimension: u32, p: f64, seed: u64) -> (u64, u64, u64) {
     let cube = Hypercube::new(dimension);
     let sampler = PercolationConfig::new(p, seed).sampler();
     let frozen = FrozenSample::from_sampler(&cube, &sampler);
+    let bitset = BitsetSample::from_states(&cube, &sampler);
     let mut open = 0u64;
     let mut disagreements = 0u64;
     let edges = cube.edges();
@@ -124,7 +131,7 @@ pub fn sampling_agreement(dimension: u32, p: f64, seed: u64) -> (u64, u64, u64) 
         if lazy {
             open += 1;
         }
-        if lazy != frozen.is_open(*e) {
+        if lazy != frozen.is_open(*e) || lazy != bitset.is_open(*e) {
             disagreements += 1;
         }
     }
@@ -146,6 +153,9 @@ pub struct AblationExperiment {
     pub trials: u32,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads for the conditioned trials (1 = sequential; the
+    /// reported numbers are identical for every value).
+    pub threads: usize,
 }
 
 impl AblationExperiment {
@@ -158,6 +168,7 @@ impl AblationExperiment {
             mesh_p: 0.65,
             trials: effort.pick(10, 40),
             base_seed: 0xFA10,
+            threads: 1,
         }
     }
 
@@ -169,6 +180,13 @@ impl AblationExperiment {
     /// Full configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
         Self::with_effort(Effort::Full)
+    }
+
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the ablations and assembles the report.
@@ -188,6 +206,7 @@ impl AblationExperiment {
                 p,
                 self.trials,
                 self.base_seed.wrapping_add(pi as u64 * 67),
+                self.threads,
             );
             for row in rows {
                 table.push_row([
@@ -217,6 +236,7 @@ impl AblationExperiment {
             self.mesh_side,
             self.trials,
             self.base_seed ^ 0x1111,
+            self.threads,
         ) {
             mesh_table.push_row([label, fmt_float(probes)]);
         }
@@ -225,7 +245,7 @@ impl AblationExperiment {
         let (edges, open, disagreements) =
             sampling_agreement(self.dimension, 0.5, self.base_seed ^ 0x2222);
         let mut sampling_table = Table::new(["edges", "open edges", "lazy/eager disagreements"])
-            .with_title("lazy vs eagerly materialised sampling of the same instance");
+            .with_title("lazy vs materialised (frozen set + bitset) sampling of the same instance");
         sampling_table.push_row([
             edges.to_string(),
             open.to_string(),
@@ -245,7 +265,7 @@ mod tests {
 
     #[test]
     fn router_ablation_orders_routers_sensibly() {
-        let rows = hypercube_router_ablation(9, 0.6, 10, 3);
+        let rows = hypercube_router_ablation(9, 0.6, 10, 3, 2);
         assert_eq!(rows.len(), 5);
         let flood = rows.iter().find(|r| r.router.contains("flood")).unwrap();
         let segment = rows.iter().find(|r| r.router.contains("segment")).unwrap();
@@ -256,7 +276,7 @@ mod tests {
 
     #[test]
     fn mesh_escalation_variants_all_complete() {
-        let rows = mesh_escalation_ablation(0.7, 13, 8, 5);
+        let rows = mesh_escalation_ablation(0.7, 13, 8, 5, 1);
         assert_eq!(rows.len(), 3);
         for (label, probes) in rows {
             assert!(probes.is_finite(), "{label} produced no successes");

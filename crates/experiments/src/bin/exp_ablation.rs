@@ -1,16 +1,16 @@
 //! Binary entry point for the E10 ablation experiment.
 //!
-//! Pass `--quick` for the reduced configuration used by tests and benches;
-//! the default is the full configuration recorded in EXPERIMENTS.md.
+//! Flags: `--quick` for the reduced configuration used by tests and benches
+//! (the default is the full configuration recorded in docs/EXPERIMENTS.md),
+//! `--threads N` to set the worker-thread count (0 or absent = one worker
+//! per core; the emitted tables are identical for every value), and
+//! `--markdown` for Markdown output.
 
 use faultnet_experiments::ablation::AblationExperiment;
+use faultnet_experiments::cli::ExpArgs;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick {
-        AblationExperiment::quick()
-    } else {
-        AblationExperiment::full()
-    };
-    println!("{}", experiment.run().render());
+    let args = ExpArgs::parse_env();
+    let experiment = AblationExperiment::with_effort(args.effort).with_threads(args.threads);
+    args.print(&experiment.run());
 }

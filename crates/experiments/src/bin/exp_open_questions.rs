@@ -1,16 +1,16 @@
 //! Binary entry point for the E9 open questions experiment.
 //!
-//! Pass `--quick` for the reduced configuration used by tests and benches;
-//! the default is the full configuration recorded in EXPERIMENTS.md.
+//! Flags: `--quick` for the reduced configuration used by tests and benches
+//! (the default is the full configuration recorded in docs/EXPERIMENTS.md),
+//! `--threads N` to set the worker-thread count (0 or absent = one worker
+//! per core; the emitted tables are identical for every value), and
+//! `--markdown` for Markdown output.
 
+use faultnet_experiments::cli::ExpArgs;
 use faultnet_experiments::open_questions::OpenQuestionsExperiment;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let experiment = if quick {
-        OpenQuestionsExperiment::quick()
-    } else {
-        OpenQuestionsExperiment::full()
-    };
-    println!("{}", experiment.run().render());
+    let args = ExpArgs::parse_env();
+    let experiment = OpenQuestionsExperiment::with_effort(args.effort).with_threads(args.threads);
+    args.print(&experiment.run());
 }

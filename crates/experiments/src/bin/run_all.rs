@@ -1,12 +1,17 @@
 //! Runs every experiment in sequence and prints the combined report.
 //!
-//! `run-all-experiments [--quick] [--markdown]`
+//! `cargo run --release -p faultnet-experiments --bin run_all -- [--quick] [--markdown] [--threads N]`
 //!
 //! * `--quick` uses the reduced configurations (seconds per experiment);
-//!   the default is the full configurations recorded in EXPERIMENTS.md.
+//!   the default is the full configurations recorded in docs/EXPERIMENTS.md.
 //! * `--markdown` emits Markdown instead of plain text (used to refresh
-//!   EXPERIMENTS.md).
+//!   docs/EXPERIMENTS.md).
+//! * `--threads N` fans conditioned trials and sweep points across `N`
+//!   worker threads (0 or absent = one worker per core). The parallel
+//!   harness merges results in deterministic order, so the emitted tables
+//!   are identical for every thread count.
 
+use faultnet_experiments::cli::ExpArgs;
 use faultnet_experiments::{
     ablation::AblationExperiment, chemical_distance::ChemicalDistanceExperiment,
     double_tree::DoubleTreeExperiment, gnp::GnpExperiment,
@@ -18,72 +23,46 @@ use faultnet_experiments::{
 };
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let markdown = std::env::args().any(|a| a == "--markdown");
+    let args = ExpArgs::parse_env();
+    let (effort, threads) = (args.effort, args.threads);
 
     let reports: Vec<ExperimentReport> = vec![
-        if quick {
-            HypercubeTransitionExperiment::quick().run()
-        } else {
-            HypercubeTransitionExperiment::full().run()
-        },
-        if quick {
-            HypercubeLowerBoundExperiment::quick().run()
-        } else {
-            HypercubeLowerBoundExperiment::full().run()
-        },
-        if quick {
-            MeshRoutingExperiment::quick().run()
-        } else {
-            MeshRoutingExperiment::full().run()
-        },
-        if quick {
-            ChemicalDistanceExperiment::quick().run()
-        } else {
-            ChemicalDistanceExperiment::full().run()
-        },
-        if quick {
-            DoubleTreeExperiment::quick().run()
-        } else {
-            DoubleTreeExperiment::full().run()
-        },
-        if quick {
-            GnpExperiment::quick().run()
-        } else {
-            GnpExperiment::full().run()
-        },
-        if quick {
-            HypercubeGiantExperiment::quick().run()
-        } else {
-            HypercubeGiantExperiment::full().run()
-        },
-        if quick {
-            MeshThresholdExperiment::quick().run()
-        } else {
-            MeshThresholdExperiment::full().run()
-        },
-        if quick {
-            OpenQuestionsExperiment::quick().run()
-        } else {
-            OpenQuestionsExperiment::full().run()
-        },
-        if quick {
-            AblationExperiment::quick().run()
-        } else {
-            AblationExperiment::full().run()
-        },
+        HypercubeTransitionExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        HypercubeLowerBoundExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        MeshRoutingExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        ChemicalDistanceExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        DoubleTreeExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        GnpExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        HypercubeGiantExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        MeshThresholdExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        OpenQuestionsExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        AblationExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
     ];
 
     for report in &reports {
-        if markdown {
-            println!("{}", report.render_markdown());
-        } else {
-            println!("{}", report.render());
-        }
+        args.print(report);
     }
-    eprintln!(
-        "ran {} experiments ({} mode)",
-        reports.len(),
-        if quick { "quick" } else { "full" }
-    );
+    // Deliberately thread-count-free: all output (stdout and stderr) must
+    // be byte-identical across --threads values.
+    eprintln!("ran {} experiments ({} mode)", reports.len(), effort);
 }

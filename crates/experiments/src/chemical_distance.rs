@@ -8,8 +8,11 @@
 //! reports the mean, the maximum, and the empirical tail.
 
 use faultnet_analysis::histogram::Histogram;
+use faultnet_analysis::sweep::Sweep;
 use faultnet_analysis::table::{fmt_float, Table};
-use faultnet_percolation::chemical::{stretch_samples_over_instances, StretchSample};
+use faultnet_percolation::chemical::{
+    stretch_sample_for_trial, stretch_samples_over_instances, StretchSample,
+};
 use faultnet_topology::torus::Torus;
 use faultnet_topology::Topology;
 
@@ -33,14 +36,31 @@ pub struct StretchPoint {
 }
 
 /// Measures the stretch of an axis-aligned pair at the given distance on a
-/// 2-dimensional torus.
-pub fn measure_stretch_point(p: f64, distance: u64, trials: u32, base_seed: u64) -> StretchPoint {
+/// 2-dimensional torus, fanning the instances across `threads` workers.
+///
+/// Each worker runs `percolation::chemical::stretch_sample_for_trial` — the
+/// same per-trial recipe (seed derivation + bitset materialisation) the
+/// sequential collector uses — and results are merged in trial order, so
+/// the summary is identical for every thread count.
+pub fn measure_stretch_point(
+    p: f64,
+    distance: u64,
+    trials: u32,
+    base_seed: u64,
+    threads: usize,
+) -> StretchPoint {
     let side = (2 * distance + 2).max(8);
     let torus = Torus::new(2, side);
     let u = torus.vertex_at(&[0, 0]);
     let v = torus.vertex_at(&[distance, 0]);
     debug_assert_eq!(torus.distance(u, v), Some(distance));
-    let samples = stretch_samples_over_instances(&torus, u, v, p, trials, base_seed);
+    let samples: Vec<StretchSample> = Sweep::over(0..trials)
+        .run_parallel(threads.max(1), |&t| {
+            stretch_sample_for_trial(&torus, u, v, p, base_seed, t)
+        })
+        .into_iter()
+        .filter_map(|point| point.value)
+        .collect();
     let n = samples.len();
     let stretches: Vec<f64> = samples.iter().map(StretchSample::stretch).collect();
     let mean = if n == 0 {
@@ -75,6 +95,9 @@ pub struct ChemicalDistanceExperiment {
     pub trials: u32,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads (1 = sequential; the reported numbers are identical
+    /// for every value).
+    pub threads: usize,
 }
 
 impl ChemicalDistanceExperiment {
@@ -82,9 +105,12 @@ impl ChemicalDistanceExperiment {
     pub fn with_effort(effort: Effort) -> Self {
         ChemicalDistanceExperiment {
             ps: effort.pick(vec![0.6, 0.8], vec![0.55, 0.6, 0.7, 0.8, 0.9, 0.95]),
-            distances: effort.pick(vec![8, 16], vec![10, 20, 40, 60]),
+            // Distance 80 doubles the longest measured pair (torus side
+            // 162); it assumes the parallel harness.
+            distances: effort.pick(vec![8, 16], vec![10, 20, 40, 60, 80]),
             trials: effort.pick(15, 60),
             base_seed: 0xFA06,
+            threads: 1,
         }
     }
 
@@ -96,6 +122,13 @@ impl ChemicalDistanceExperiment {
     /// Full configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
         Self::with_effort(Effort::Full)
+    }
+
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the experiment and assembles the report.
@@ -119,7 +152,7 @@ impl ChemicalDistanceExperiment {
                     .base_seed
                     .wrapping_add((pi as u64) << 16)
                     .wrapping_add(di as u64);
-                let point = measure_stretch_point(p, distance, self.trials, seed);
+                let point = measure_stretch_point(p, distance, self.trials, seed, self.threads);
                 table.push_row([
                     distance.to_string(),
                     fmt_float(point.connectivity_rate),
@@ -167,7 +200,7 @@ mod tests {
 
     #[test]
     fn stretch_is_small_far_above_threshold() {
-        let point = measure_stretch_point(0.9, 12, 15, 3);
+        let point = measure_stretch_point(0.9, 12, 15, 3, 2);
         assert!(point.connectivity_rate > 0.8);
         assert!(point.mean_stretch >= 1.0);
         assert!(
@@ -179,8 +212,8 @@ mod tests {
 
     #[test]
     fn stretch_grows_as_p_approaches_the_threshold() {
-        let far = measure_stretch_point(0.95, 10, 20, 4);
-        let near = measure_stretch_point(0.6, 10, 20, 4);
+        let far = measure_stretch_point(0.95, 10, 20, 4, 1);
+        let near = measure_stretch_point(0.6, 10, 20, 4, 1);
         assert!(near.mean_stretch >= far.mean_stretch - 0.05);
     }
 

@@ -1,0 +1,170 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every `exp_*` binary (and `run_all`) accepts the same three flags:
+//!
+//! * `--quick` — run the reduced configuration (seconds) instead of the
+//!   `full()` grids recorded in `docs/EXPERIMENTS.md`.
+//! * `--threads N` (or `--threads=N`) — fan conditioned trials / sweep
+//!   points across `N` worker threads. `N = 0` (the default) means "one
+//!   worker per available core". Because the parallel harness merges trial
+//!   results in deterministic order, the emitted tables are identical for
+//!   every thread count — the knob only changes wall-clock time.
+//! * `--markdown` — render the report as Markdown instead of plain text.
+
+use crate::report::Effort;
+
+/// Parsed experiment-binary arguments.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_experiments::cli::ExpArgs;
+/// use faultnet_experiments::report::Effort;
+///
+/// let args = ExpArgs::parse(["--quick", "--threads", "4"].map(String::from));
+/// assert_eq!(args.effort, Effort::Quick);
+/// assert_eq!(args.threads, 4);
+/// assert!(!args.markdown);
+///
+/// let args = ExpArgs::parse(["--threads=2", "--markdown"].map(String::from));
+/// assert_eq!(args.effort, Effort::Full);
+/// assert_eq!(args.threads, 2);
+/// assert!(args.markdown);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Effort level: `Quick` when `--quick` was passed, `Full` otherwise.
+    pub effort: Effort,
+    /// Worker-thread count, already resolved: `--threads 0` and an absent
+    /// flag both resolve to the number of available cores (at least 1).
+    pub threads: usize,
+    /// Whether `--markdown` was passed.
+    pub markdown: bool,
+}
+
+impl ExpArgs {
+    /// Parses the given argument list (flags may appear in any order;
+    /// unknown flags produce a warning on stderr and are skipped).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut effort = Effort::Full;
+        let mut markdown = false;
+        let mut threads: usize = 0;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => effort = Effort::Quick,
+                "--markdown" => markdown = true,
+                "--threads" => {
+                    // Only consume the lookahead token when it actually is a
+                    // number, so `--threads --markdown` does not swallow the
+                    // next flag.
+                    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        Some(n) => {
+                            threads = n;
+                            i += 1;
+                        }
+                        None => eprintln!("--threads expects a number; using auto"),
+                    }
+                }
+                other => {
+                    if let Some(value) = other.strip_prefix("--threads=") {
+                        threads = value.parse().unwrap_or_else(|_| {
+                            eprintln!("--threads expects a number; using auto");
+                            0
+                        });
+                    } else {
+                        eprintln!("ignoring unknown argument {other:?}");
+                    }
+                }
+            }
+            i += 1;
+        }
+        ExpArgs {
+            effort,
+            threads: resolve_threads(threads),
+            markdown,
+        }
+    }
+
+    /// Parses the process arguments (`std::env::args`, program name
+    /// skipped).
+    pub fn parse_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Renders `report` to stdout in the requested format.
+    pub fn print(&self, report: &crate::report::ExperimentReport) {
+        if self.markdown {
+            println!("{}", report.render_markdown());
+        } else {
+            println!("{}", report.render());
+        }
+    }
+}
+
+/// Resolves a requested thread count: `0` means "all available cores"
+/// (falling back to 1 when the platform cannot report parallelism).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_full_effort_auto_threads() {
+        let args = ExpArgs::parse(Vec::new());
+        assert_eq!(args.effort, Effort::Full);
+        assert!(args.threads >= 1);
+        assert!(!args.markdown);
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_kept() {
+        assert_eq!(
+            ExpArgs::parse(vec!["--threads".into(), "7".into()]).threads,
+            7
+        );
+        assert_eq!(ExpArgs::parse(vec!["--threads=3".into()]).threads, 3);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_at_least_one() {
+        let args = ExpArgs::parse(vec!["--threads".into(), "0".into()]);
+        assert!(args.threads >= 1);
+        assert_eq!(resolve_threads(5), 5);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn unknown_and_malformed_arguments_do_not_abort() {
+        let args = ExpArgs::parse(vec![
+            "--bogus".into(),
+            "--quick".into(),
+            "--threads".into(),
+            "lots".into(),
+        ]);
+        assert_eq!(args.effort, Effort::Quick);
+        assert!(args.threads >= 1);
+    }
+
+    #[test]
+    fn threads_with_missing_value_does_not_swallow_the_next_flag() {
+        let args = ExpArgs::parse(vec!["--threads".into(), "--markdown".into()]);
+        assert!(
+            args.markdown,
+            "--markdown must survive a valueless --threads"
+        );
+        assert!(args.threads >= 1);
+        let args = ExpArgs::parse(vec!["--threads".into(), "--quick".into()]);
+        assert_eq!(args.effort, Effort::Quick);
+    }
+}

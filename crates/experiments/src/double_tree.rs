@@ -16,6 +16,7 @@ use faultnet_analysis::figure::{AsciiFigure, Scale, Series};
 use faultnet_analysis::phase::crossing_point;
 use faultnet_analysis::regression::{fit_exponential, fit_line};
 use faultnet_analysis::stats::Summary;
+use faultnet_analysis::sweep::Sweep;
 use faultnet_analysis::table::{fmt_float, Table};
 use faultnet_percolation::branching::{
     double_tree_connection_probability, double_tree_critical_probability,
@@ -41,22 +42,24 @@ pub struct ConnectionPoint {
     pub exact: f64,
 }
 
-/// Measures the root connectivity frequency of `TT_depth` at probability `p`.
+/// Measures the root connectivity frequency of `TT_depth` at probability
+/// `p`, fanning the instances across `threads` workers. The per-instance
+/// connectivity checks are merged in trial order, so the measured frequency
+/// is identical for every thread count.
 pub fn measure_connection_point(
     depth: u32,
     p: f64,
     trials: u32,
     base_seed: u64,
+    threads: usize,
 ) -> ConnectionPoint {
     let tt = DoubleBinaryTree::new(depth);
     let (x, y) = tt.roots();
-    let mut hits = 0u32;
-    for t in 0..trials {
+    let connected = Sweep::over(0..trials).run_parallel(threads.max(1), |&t| {
         let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
-        if faultnet_percolation::bfs::connected(&tt, &cfg.sampler(), x, y) {
-            hits += 1;
-        }
-    }
+        faultnet_percolation::bfs::connected(&tt, &cfg.sampler(), x, y)
+    });
+    let hits = connected.iter().filter(|point| point.value).count();
     ConnectionPoint {
         depth,
         p,
@@ -83,18 +86,21 @@ pub struct TreeComplexityPoint {
     pub certified_probes: u64,
 }
 
-/// Measures the local and oracle routers on `TT_depth` at probability `p`.
+/// Measures the local and oracle routers on `TT_depth` at probability `p`,
+/// fanning the conditioned trials across `threads` workers (1 = sequential;
+/// the result is identical either way).
 pub fn measure_tree_complexity(
     depth: u32,
     p: f64,
     trials: u32,
     base_seed: u64,
+    threads: usize,
 ) -> TreeComplexityPoint {
     let tt = DoubleBinaryTree::new(depth);
     let (x, y) = tt.roots();
     let harness = ComplexityHarness::new(tt, PercolationConfig::new(p, base_seed));
-    let local = harness.measure(&LeafPenetrationRouter::new(), x, y, trials);
-    let oracle = harness.measure(&PairedDfsOracleRouter::new(), x, y, trials);
+    let local = harness.measure_parallel(&LeafPenetrationRouter::new(), x, y, trials, threads);
+    let oracle = harness.measure_parallel(&PairedDfsOracleRouter::new(), x, y, trials, threads);
     TreeComplexityPoint {
         depth,
         p,
@@ -120,6 +126,9 @@ pub struct DoubleTreeExperiment {
     pub trials: u32,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads (1 = sequential; the reported numbers are identical
+    /// for every value).
+    pub threads: usize,
 }
 
 impl DoubleTreeExperiment {
@@ -128,10 +137,13 @@ impl DoubleTreeExperiment {
         DoubleTreeExperiment {
             connectivity_depths: effort.pick(vec![8, 12], vec![10, 14, 18]),
             connectivity_ps: vec![0.6, 0.65, 0.68, 0.71, 0.74, 0.78, 0.85, 0.92],
-            complexity_depths: effort.pick(vec![4, 6, 8], vec![4, 6, 8, 10, 12]),
+            // Depth 14 extends the Theorem 7 semi-log fit by two doublings
+            // of the leaf count; it assumes the parallel harness.
+            complexity_depths: effort.pick(vec![4, 6, 8], vec![4, 6, 8, 10, 12, 14]),
             complexity_p: 0.8,
             trials: effort.pick(20, 80),
             base_seed: 0xFA07,
+            threads: 1,
         }
     }
 
@@ -143,6 +155,13 @@ impl DoubleTreeExperiment {
     /// Full configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
         Self::with_effort(Effort::Full)
+    }
+
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the experiment and assembles the report.
@@ -165,7 +184,7 @@ impl DoubleTreeExperiment {
                     .base_seed
                     .wrapping_add((di as u64) << 20)
                     .wrapping_add(pi as u64);
-                let point = measure_connection_point(depth, p, self.trials, seed);
+                let point = measure_connection_point(depth, p, self.trials, seed, self.threads);
                 table.push_row([
                     format!("{p:.2}"),
                     fmt_float(point.measured),
@@ -203,6 +222,7 @@ impl DoubleTreeExperiment {
                 self.complexity_p,
                 self.trials,
                 self.base_seed.wrapping_add(0xC0 + di as u64),
+                self.threads,
             );
             table.push_row([
                 depth.to_string(),
@@ -251,7 +271,7 @@ mod tests {
 
     #[test]
     fn connectivity_matches_exact_recursion() {
-        let point = measure_connection_point(10, 0.85, 60, 5);
+        let point = measure_connection_point(10, 0.85, 60, 5, 2);
         assert!(
             (point.measured - point.exact).abs() < 0.2,
             "measured {} exact {}",
@@ -262,15 +282,15 @@ mod tests {
 
     #[test]
     fn connectivity_vanishes_below_the_threshold() {
-        let below = measure_connection_point(14, 0.6, 30, 7);
-        let above = measure_connection_point(14, 0.9, 30, 7);
+        let below = measure_connection_point(14, 0.6, 30, 7, 1);
+        let above = measure_connection_point(14, 0.9, 30, 7, 1);
         assert!(below.measured < 0.2);
         assert!(above.measured > 0.5);
     }
 
     #[test]
     fn local_probes_exceed_oracle_probes() {
-        let point = measure_tree_complexity(7, 0.8, 25, 9);
+        let point = measure_tree_complexity(7, 0.8, 25, 9, 2);
         assert!(point.local_mean_probes.is_finite());
         if point.oracle_mean_probes.is_finite() {
             assert!(point.local_mean_probes > point.oracle_mean_probes);

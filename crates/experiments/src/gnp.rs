@@ -33,14 +33,16 @@ pub struct GnpPoint {
     pub oracle_mean_probes: f64,
 }
 
-/// Measures both `G(n, p)` routers at one size.
-pub fn measure_gnp_point(n: u64, c: f64, trials: u32, base_seed: u64) -> GnpPoint {
+/// Measures both `G(n, p)` routers at one size, fanning the conditioned
+/// trials across `threads` workers (1 = sequential; the result is identical
+/// either way).
+pub fn measure_gnp_point(n: u64, c: f64, trials: u32, base_seed: u64, threads: usize) -> GnpPoint {
     let graph = CompleteGraph::new(n);
     let p = (c / n as f64).min(1.0);
     let harness = ComplexityHarness::new(graph, PercolationConfig::new(p, base_seed));
     let (u, v) = graph.canonical_pair();
-    let local = harness.measure(&IncrementalLocalRouter::new(), u, v, trials);
-    let oracle = harness.measure(&BidirectionalGrowthRouter::new(), u, v, trials);
+    let local = harness.measure_parallel(&IncrementalLocalRouter::new(), u, v, trials, threads);
+    let oracle = harness.measure_parallel(&BidirectionalGrowthRouter::new(), u, v, trials, threads);
     GnpPoint {
         n,
         c,
@@ -61,16 +63,22 @@ pub struct GnpExperiment {
     pub trials: u32,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads for the conditioned trials (1 = sequential; the
+    /// reported numbers are identical for every value).
+    pub threads: usize,
 }
 
 impl GnpExperiment {
     /// Configuration at the requested effort level.
     pub fn with_effort(effort: Effort) -> Self {
         GnpExperiment {
-            sizes: effort.pick(vec![60, 120, 240], vec![100, 200, 400, 800, 1600]),
+            // n = 2400 extends the scaling fit by half a decade; it assumes
+            // the parallel harness (the local router is Ω(n²) per trial).
+            sizes: effort.pick(vec![60, 120, 240], vec![100, 200, 400, 800, 1600, 2400]),
             mean_degrees: effort.pick(vec![2.0], vec![1.5, 2.0, 3.0]),
             trials: effort.pick(10, 40),
             base_seed: 0xFA08,
+            threads: 1,
         }
     }
 
@@ -82,6 +90,13 @@ impl GnpExperiment {
     /// Full configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
         Self::with_effort(Effort::Full)
+    }
+
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the experiment and assembles the report.
@@ -113,6 +128,7 @@ impl GnpExperiment {
                     self.base_seed
                         .wrapping_add((ci as u64) << 20)
                         .wrapping_add(ni as u64),
+                    self.threads,
                 );
                 table.push_row([
                     n.to_string(),
@@ -161,15 +177,15 @@ mod tests {
 
     #[test]
     fn oracle_is_cheaper_than_local() {
-        let point = measure_gnp_point(150, 2.5, 10, 3);
+        let point = measure_gnp_point(150, 2.5, 10, 3, 2);
         assert!(point.connectivity_rate > 0.3);
         assert!(point.local_mean_probes > point.oracle_mean_probes);
     }
 
     #[test]
     fn exponent_gap_is_visible_even_at_small_sizes() {
-        let small = measure_gnp_point(60, 2.0, 12, 5);
-        let large = measure_gnp_point(240, 2.0, 12, 5);
+        let small = measure_gnp_point(60, 2.0, 12, 5, 1);
+        let large = measure_gnp_point(240, 2.0, 12, 5, 1);
         let local_growth = large.local_mean_probes / small.local_mean_probes;
         let oracle_growth = large.oracle_mean_probes / small.oracle_mean_probes;
         // Quadrupling n should grow the local cost markedly faster than the

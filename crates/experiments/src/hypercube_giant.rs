@@ -4,8 +4,10 @@
 //! to frame where routing is even meaningful.
 
 use faultnet_analysis::phase::crossing_point;
+use faultnet_analysis::sweep::Sweep;
 use faultnet_analysis::table::{fmt_float, Table};
 use faultnet_percolation::components::ComponentCensus;
+use faultnet_percolation::sample::BitsetSample;
 use faultnet_percolation::PercolationConfig;
 use faultnet_topology::hypercube::Hypercube;
 
@@ -23,23 +25,30 @@ pub struct HypercubePoint {
 }
 
 /// Measures giant fraction and connectivity of `H_{n,p}` over `trials`
-/// instances.
+/// instances, fanning the instances across `threads` workers.
+///
+/// Each worker materialises its instance as a [`BitsetSample`] (single bit
+/// read per edge in the census) and the per-instance results are summed in
+/// trial order, so the means are identical for every thread count.
 pub fn measure_hypercube_point(
     dimension: u32,
     p: f64,
     trials: u32,
     base_seed: u64,
+    threads: usize,
 ) -> HypercubePoint {
     let cube = Hypercube::new(dimension);
+    let per_trial = Sweep::over(0..trials).run_parallel(threads.max(1), |&t| {
+        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
+        let sample = BitsetSample::from_config(&cube, &cfg);
+        let census = ComponentCensus::compute(&cube, &sample);
+        (census.giant_fraction(), census.num_components() == 1)
+    });
     let mut giant_total = 0.0;
     let mut connected_count = 0u32;
-    for t in 0..trials {
-        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
-        let census = ComponentCensus::compute(&cube, &cfg.sampler());
-        giant_total += census.giant_fraction();
-        if census.num_components() == 1 {
-            connected_count += 1;
-        }
+    for point in per_trial {
+        giant_total += point.value.0;
+        connected_count += u32::from(point.value.1);
     }
     HypercubePoint {
         p,
@@ -61,17 +70,23 @@ pub struct HypercubeGiantExperiment {
     pub trials: u32,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads (1 = sequential; the reported numbers are identical
+    /// for every value).
+    pub threads: usize,
 }
 
 impl HypercubeGiantExperiment {
     /// Configuration at the requested effort level.
     pub fn with_effort(effort: Effort) -> Self {
         HypercubeGiantExperiment {
-            dimensions: effort.pick(vec![10], vec![12, 14]),
+            // n = 16 (65 536 vertices, 524 288 edges per instance) sharpens
+            // both threshold estimates; it assumes the parallel harness.
+            dimensions: effort.pick(vec![10], vec![12, 14, 16]),
             giant_multipliers: vec![0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0],
             connectivity_ps: vec![0.30, 0.40, 0.45, 0.50, 0.55, 0.60, 0.70],
             trials: effort.pick(6, 30),
             base_seed: 0xFA03,
+            threads: 1,
         }
     }
 
@@ -83,6 +98,13 @@ impl HypercubeGiantExperiment {
     /// Full configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
         Self::with_effort(Effort::Full)
+    }
+
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the experiment and assembles the report.
@@ -99,8 +121,13 @@ impl HypercubeGiantExperiment {
             let mut giant_curve = Vec::new();
             for (i, &c) in self.giant_multipliers.iter().enumerate() {
                 let p = (c / n as f64).min(1.0);
-                let point =
-                    measure_hypercube_point(n, p, self.trials, self.base_seed + i as u64 * 31);
+                let point = measure_hypercube_point(
+                    n,
+                    p,
+                    self.trials,
+                    self.base_seed + i as u64 * 31,
+                    self.threads,
+                );
                 giant_table.push_row([
                     format!("{c:.2}"),
                     fmt_float(p),
@@ -121,8 +148,13 @@ impl HypercubeGiantExperiment {
             );
             let mut conn_curve = Vec::new();
             for (i, &p) in self.connectivity_ps.iter().enumerate() {
-                let point =
-                    measure_hypercube_point(n, p, self.trials, self.base_seed + 991 + i as u64);
+                let point = measure_hypercube_point(
+                    n,
+                    p,
+                    self.trials,
+                    self.base_seed + 991 + i as u64,
+                    self.threads,
+                );
                 conn_table.push_row([
                     format!("{p:.2}"),
                     fmt_float(point.giant_fraction),
@@ -147,8 +179,8 @@ mod tests {
 
     #[test]
     fn giant_fraction_transitions_around_one_over_n() {
-        let sub = measure_hypercube_point(10, 0.25 / 10.0, 6, 1);
-        let sup = measure_hypercube_point(10, 3.0 / 10.0, 6, 1);
+        let sub = measure_hypercube_point(10, 0.25 / 10.0, 6, 1, 2);
+        let sup = measure_hypercube_point(10, 3.0 / 10.0, 6, 1, 2);
         assert!(
             sub.giant_fraction < 0.2,
             "subcritical {}",
@@ -163,8 +195,8 @@ mod tests {
 
     #[test]
     fn connectivity_transitions_around_one_half() {
-        let below = measure_hypercube_point(10, 0.35, 6, 2);
-        let above = measure_hypercube_point(10, 0.65, 6, 2);
+        let below = measure_hypercube_point(10, 0.35, 6, 2, 1);
+        let above = measure_hypercube_point(10, 0.65, 6, 2, 1);
         assert!(below.connectivity < above.connectivity + 1e-9);
         assert!(above.connectivity > 0.5);
     }

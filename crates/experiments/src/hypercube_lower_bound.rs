@@ -48,13 +48,16 @@ pub struct BoundComparison {
 }
 
 /// Estimates the Lemma 5 bound with a radius-`radius` ball around the target
-/// and measures the flooding router on the same configuration.
+/// and measures the flooding router on the same configuration, fanning the
+/// conditioned trials across `threads` workers (1 = sequential; the result
+/// is identical either way).
 pub fn compare_bound_to_measurement(
     dimension: u32,
     alpha: f64,
     radius: u32,
     trials: u32,
     base_seed: u64,
+    threads: usize,
 ) -> BoundComparison {
     let cube = Hypercube::new(dimension);
     let p = (dimension as f64).powf(-alpha).min(1.0);
@@ -62,7 +65,7 @@ pub fn compare_bound_to_measurement(
     let ball: HashSet<_> = hypercube_ball_cut(&cube, v, radius);
     let bound = estimate_cut_bound(&cube, p, &ball, u, v, trials, base_seed);
     let harness = ComplexityHarness::new(cube, PercolationConfig::new(p, base_seed ^ 0x5EED));
-    let stats = harness.measure(&FloodRouter::new(), u, v, trials);
+    let stats = harness.measure_parallel(&FloodRouter::new(), u, v, trials, threads);
     let summary = Summary::from_counts(stats.probe_counts().iter().copied());
     BoundComparison {
         dimension,
@@ -97,6 +100,9 @@ pub struct HypercubeLowerBoundExperiment {
     pub trials: u32,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads for the conditioned trials (1 = sequential; the
+    /// reported numbers are identical for every value).
+    pub threads: usize,
 }
 
 impl HypercubeLowerBoundExperiment {
@@ -111,6 +117,7 @@ impl HypercubeLowerBoundExperiment {
             monte_carlo_radius: 2,
             trials: effort.pick(30, 120),
             base_seed: 0xFA02,
+            threads: 1,
         }
     }
 
@@ -122,6 +129,13 @@ impl HypercubeLowerBoundExperiment {
     /// Full configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
         Self::with_effort(Effort::Full)
+    }
+
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the experiment and assembles the report.
@@ -183,6 +197,7 @@ impl HypercubeLowerBoundExperiment {
                 self.monte_carlo_radius,
                 self.trials,
                 self.base_seed.wrapping_add(i as u64),
+                self.threads,
             );
             mc.push_row([
                 n.to_string(),
@@ -225,7 +240,7 @@ mod tests {
 
     #[test]
     fn monte_carlo_bound_is_sound_against_measurement() {
-        let cmp = compare_bound_to_measurement(8, 0.7, 2, 40, 3);
+        let cmp = compare_bound_to_measurement(8, 0.7, 2, 40, 3, 2);
         // The bound certifies a probe count every local router must reach
         // with probability ≥ 1/2; the flooding router's *minimum* observed
         // probe count must therefore not be (much) below it. We check

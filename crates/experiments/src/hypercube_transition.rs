@@ -50,13 +50,16 @@ pub struct AlphaPoint {
     pub mean_cost: f64,
 }
 
-/// Measures one `(n, α)` point with the segment router.
+/// Measures one `(n, α)` point with the segment router, fanning the
+/// conditioned trials across `threads` workers (1 = sequential; the result
+/// is identical either way).
 pub fn measure_alpha_point(
     dimension: u32,
     alpha: f64,
     trials: u32,
     probe_budget: u64,
     base_seed: u64,
+    threads: usize,
 ) -> AlphaPoint {
     let cube = Hypercube::new(dimension);
     let p = (dimension as f64).powf(-alpha).min(1.0);
@@ -64,7 +67,7 @@ pub fn measure_alpha_point(
         .with_probe_budget(probe_budget);
     let (u, v) = cube.canonical_pair();
     let router = SegmentRouter::for_alpha(alpha, 16);
-    let stats = harness.measure(&router, u, v, trials);
+    let stats = harness.measure_parallel(&router, u, v, trials, threads);
     let summary = Summary::from_counts(stats.probe_counts().iter().copied());
     let conditioned = stats.conditioned_trials().max(1) as f64;
     let mean_cost = (stats.probe_counts().iter().sum::<u64>() as f64
@@ -100,13 +103,19 @@ pub struct HypercubeTransitionExperiment {
     pub probe_budget: u64,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads for the conditioned trials (1 = sequential; the
+    /// reported numbers are identical for every value).
+    pub threads: usize,
 }
 
 impl HypercubeTransitionExperiment {
     /// Configuration at the requested effort level.
     pub fn with_effort(effort: Effort) -> Self {
         HypercubeTransitionExperiment {
-            dimensions: effort.pick(vec![9, 11], vec![10, 12, 14]),
+            // The n = 16 point (65 536 vertices) exists to sharpen the
+            // measured transition location; it is only tractable with the
+            // parallel harness.
+            dimensions: effort.pick(vec![9, 11], vec![10, 12, 14, 16]),
             alphas: effort.pick(
                 vec![0.1, 0.3, 0.5, 0.7, 0.9],
                 vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
@@ -114,6 +123,7 @@ impl HypercubeTransitionExperiment {
             trials: effort.pick(8, 40),
             probe_budget: effort.pick(30_000, 400_000),
             base_seed: 0xFA01,
+            threads: 1,
         }
     }
 
@@ -125,6 +135,13 @@ impl HypercubeTransitionExperiment {
     /// Full configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
         Self::with_effort(Effort::Full)
+    }
+
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the sweep and assembles the report.
@@ -160,6 +177,7 @@ impl HypercubeTransitionExperiment {
                     self.trials,
                     self.probe_budget,
                     self.base_seed.wrapping_add(i as u64 * 1000 + n as u64),
+                    self.threads,
                 );
                 table.push_row([
                     format!("{alpha:.2}"),
@@ -200,7 +218,7 @@ mod tests {
 
     #[test]
     fn easy_regime_is_cheap_and_complete() {
-        let point = measure_alpha_point(10, 0.2, 8, 50_000, 7);
+        let point = measure_alpha_point(10, 0.2, 8, 50_000, 7, 1);
         assert!(point.connectivity_rate > 0.9);
         assert_eq!(point.success_rate, 1.0);
         assert_eq!(point.budget_exhaustion_rate, 0.0);
@@ -212,8 +230,8 @@ mod tests {
     fn hard_regime_costs_much_more_than_easy_regime() {
         // α = 0.75 (> 1/2) vs α = 0.25 (< 1/2) on the 11-cube: the conditioned
         // mean cost must be markedly larger in the hard regime.
-        let easy = measure_alpha_point(11, 0.25, 8, 100_000, 11);
-        let hard = measure_alpha_point(11, 0.75, 8, 100_000, 11);
+        let easy = measure_alpha_point(11, 0.25, 8, 100_000, 11, 2);
+        let hard = measure_alpha_point(11, 0.75, 8, 100_000, 11, 2);
         assert!(easy.mean_cost.is_finite());
         if hard.mean_cost.is_finite() {
             assert!(

@@ -4,8 +4,8 @@
 //! The paper is a theory paper: its "evaluation" is a set of theorems rather
 //! than benchmark tables. Each experiment in this crate therefore regenerates
 //! the finite-size table/figure that exhibits one theorem's predicted shape
-//! (see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
-//! recorded paper-vs-measured comparison):
+//! (see docs/EXPERIMENTS.md for the experiment guide — per-binary theorem
+//! mapping, grids, runtimes, and how to read the emitted tables):
 //!
 //! | Experiment | Paper result | Module |
 //! |---|---|---|
@@ -21,13 +21,17 @@
 //!
 //! Each module exposes an experiment struct with `quick()` (seconds; used by
 //! tests and Criterion benches) and `full()` (minutes; used by the `exp-*`
-//! binaries) constructors and a `run()` method producing an
-//! [`report::ExperimentReport`].
+//! binaries) constructors, a `with_threads` builder wired to the binaries'
+//! `--threads` flag (trials fan across scoped worker threads; the reported
+//! numbers are bit-identical for every thread count), and a `run()` method
+//! producing an [`report::ExperimentReport`]. Shared flag parsing lives in
+//! [`cli`].
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod chemical_distance;
+pub mod cli;
 pub mod double_tree;
 pub mod gnp;
 pub mod hypercube_giant;

@@ -60,7 +60,9 @@ fn mesh_and_pair(
     (mesh, u, v)
 }
 
-/// Measures one `(d, p, distance)` point.
+/// Measures one `(d, p, distance)` point, fanning the conditioned trials
+/// across `threads` workers (1 = sequential; the result is identical either
+/// way).
 pub fn measure_mesh_point(
     dimension: u32,
     p: f64,
@@ -68,13 +70,14 @@ pub fn measure_mesh_point(
     trials: u32,
     include_flood_baseline: bool,
     base_seed: u64,
+    threads: usize,
 ) -> MeshPoint {
     let (mesh, u, v) = mesh_and_pair(dimension, distance);
     let harness = ComplexityHarness::new(mesh, PercolationConfig::new(p, base_seed));
-    let landmark = harness.measure(&MeshLandmarkRouter::new(), u, v, trials);
+    let landmark = harness.measure_parallel(&MeshLandmarkRouter::new(), u, v, trials, threads);
     let landmark_summary = Summary::from_counts(landmark.probe_counts().iter().copied());
     let flood_mean = if include_flood_baseline {
-        let flood = harness.measure(&FloodRouter::new(), u, v, trials);
+        let flood = harness.measure_parallel(&FloodRouter::new(), u, v, trials, threads);
         Summary::from_counts(flood.probe_counts().iter().copied()).mean()
     } else {
         f64::NAN
@@ -104,6 +107,9 @@ pub struct MeshRoutingExperiment {
     pub include_flood_baseline: bool,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads for the conditioned trials (1 = sequential; the
+    /// reported numbers are identical for every value).
+    pub threads: usize,
 }
 
 impl MeshRoutingExperiment {
@@ -112,10 +118,13 @@ impl MeshRoutingExperiment {
         MeshRoutingExperiment {
             dimensions: effort.pick(vec![2], vec![2, 3]),
             ps: effort.pick(vec![0.6, 0.8], vec![0.55, 0.6, 0.7, 0.8, 0.9]),
-            distances: effort.pick(vec![8, 16, 32], vec![10, 20, 40, 80, 120]),
+            // The distance-160 point extends the Theorem 4 linear fit; it
+            // assumes the parallel harness.
+            distances: effort.pick(vec![8, 16, 32], vec![10, 20, 40, 80, 120, 160]),
             trials: effort.pick(10, 40),
             include_flood_baseline: true,
             base_seed: 0xFA04,
+            threads: 1,
         }
     }
 
@@ -127,6 +136,13 @@ impl MeshRoutingExperiment {
     /// Full configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
         Self::with_effort(Effort::Full)
+    }
+
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Runs the experiment and assembles the report.
@@ -165,6 +181,7 @@ impl MeshRoutingExperiment {
                             .wrapping_add((pi as u64) << 24)
                             .wrapping_add((di as u64) << 8)
                             .wrapping_add(d as u64),
+                        self.threads,
                     );
                     table.push_row([
                         distance.to_string(),
@@ -198,8 +215,8 @@ mod tests {
 
     #[test]
     fn probes_scale_roughly_linearly_with_distance() {
-        let near = measure_mesh_point(2, 0.8, 8, 10, false, 1);
-        let far = measure_mesh_point(2, 0.8, 32, 10, false, 1);
+        let near = measure_mesh_point(2, 0.8, 8, 10, false, 1, 2);
+        let far = measure_mesh_point(2, 0.8, 32, 10, false, 1, 2);
         assert!(near.connectivity_rate > 0.5);
         assert!(far.connectivity_rate > 0.5);
         // 4x the distance should cost well under 16x the probes (quadratic
@@ -214,7 +231,7 @@ mod tests {
 
     #[test]
     fn landmark_router_beats_flooding() {
-        let point = measure_mesh_point(2, 0.7, 16, 8, true, 5);
+        let point = measure_mesh_point(2, 0.7, 16, 8, true, 5, 1);
         assert!(point.flood_mean_probes.is_finite());
         assert!(point.landmark_mean_probes < point.flood_mean_probes);
     }

@@ -5,6 +5,7 @@
 //! by bisection on the giant-fraction curve of tori (wrap-around meshes, to
 //! suppress boundary effects) of growing side length.
 
+use faultnet_analysis::sweep::Sweep;
 use faultnet_analysis::table::{fmt_float, Table};
 use faultnet_percolation::threshold::{estimate_threshold, giant_fraction_sweep};
 use faultnet_topology::torus::Torus;
@@ -26,21 +27,28 @@ pub struct MeshThresholdExperiment {
     pub sweep_ps: Vec<f64>,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads: the per-(dimension, side) bisections run in parallel
+    /// (each bisection is inherently sequential in `p`). 1 = sequential; the
+    /// reported numbers are identical for every value.
+    pub threads: usize,
 }
 
 impl MeshThresholdExperiment {
     /// Configuration at the requested effort level.
     pub fn with_effort(effort: Effort) -> Self {
         MeshThresholdExperiment {
+            // The side-96 / side-20 points shrink the finite-size drift of
+            // the p_c estimates; they assume the parallel bisections.
             cases: effort.pick(
                 vec![(2, vec![16, 24]), (3, vec![6, 8])],
-                vec![(2, vec![24, 40, 64]), (3, vec![8, 12, 16])],
+                vec![(2, vec![24, 40, 64, 96]), (3, vec![8, 12, 16, 20])],
             ),
             target_fraction: 0.25,
             trials: effort.pick(4, 20),
             tolerance: effort.pick(0.02, 0.005),
             sweep_ps: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
             base_seed: 0xFA05,
+            threads: 1,
         }
     }
 
@@ -54,6 +62,13 @@ impl MeshThresholdExperiment {
         Self::with_effort(Effort::Full)
     }
 
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
         let mut report = ExperimentReport::new(
@@ -65,32 +80,50 @@ impl MeshThresholdExperiment {
                 "threshold estimates (giant fraction crossing {}, tolerance {})",
                 self.target_fraction, self.tolerance
             ));
+        // Flatten the (dimension, side) grid so every bisection can run on
+        // its own worker; the sweep preserves order, so the table rows come
+        // out identical to a sequential run.
+        let mut bisection_points = Vec::new();
         for (case_index, (d, sides)) in self.cases.iter().enumerate() {
-            let reference = match d {
-                2 => "0.5 (exact)".to_string(),
-                3 => "≈ 0.2488".to_string(),
-                other => format!("≈ {:.3} (1/2d heuristic)", 1.0 / (2.0 * *other as f64)),
-            };
             for (side_index, &side) in sides.iter().enumerate() {
-                let torus = Torus::new(*d, side);
+                bisection_points.push((case_index, *d, side_index, side));
+            }
+        }
+        let estimated = Sweep::over(bisection_points).run_parallel(
+            self.threads.max(1),
+            |&(case_index, d, side_index, side)| {
+                let torus = Torus::new(d, side);
                 let seed = self
                     .base_seed
                     .wrapping_add((case_index as u64) << 20)
                     .wrapping_add(side_index as u64);
-                let estimate = estimate_threshold(
+                estimate_threshold(
                     &torus,
                     self.target_fraction,
                     self.trials,
                     self.tolerance,
                     seed,
-                );
-                estimates.push_row([
-                    d.to_string(),
-                    side.to_string(),
-                    fmt_float(estimate),
-                    reference.clone(),
-                ]);
-            }
+                )
+            },
+        );
+        for point in &estimated {
+            let (_, d, _, side) = point.parameter;
+            let reference = match d {
+                2 => "0.5 (exact)".to_string(),
+                3 => "\u{2248} 0.2488".to_string(),
+                other => format!(
+                    "\u{2248} {:.3} (1/2d heuristic)",
+                    1.0 / (2.0 * other as f64)
+                ),
+            };
+            estimates.push_row([
+                d.to_string(),
+                side.to_string(),
+                fmt_float(point.value),
+                reference,
+            ]);
+        }
+        for (case_index, (d, sides)) in self.cases.iter().enumerate() {
             // A giant-fraction sweep for the largest side of this dimension.
             let &largest = sides.last().expect("at least one side per case");
             let torus = Torus::new(*d, largest);

@@ -16,8 +16,10 @@
 //! behaviour; curves moving together is evidence of mesh-like behaviour.
 
 use faultnet_analysis::stats::Summary;
+use faultnet_analysis::sweep::Sweep;
 use faultnet_analysis::table::{fmt_float, Table};
 use faultnet_percolation::components::ComponentCensus;
+use faultnet_percolation::sample::BitsetSample;
 use faultnet_percolation::PercolationConfig;
 use faultnet_routing::bfs::FloodRouter;
 use faultnet_routing::complexity::ComplexityHarness;
@@ -47,22 +49,29 @@ pub struct FamilyPoint {
     pub normalized_flood_cost: f64,
 }
 
-/// Measures one family at one probability.
-pub fn measure_family_point<T: Topology + Clone>(
+/// Measures one family at one probability, fanning both the component
+/// censuses and the conditioned routing trials across `threads` workers
+/// (1 = sequential; the result is identical either way).
+pub fn measure_family_point<T: Topology + Clone + Sync>(
     graph: &T,
     p: f64,
     trials: u32,
     base_seed: u64,
+    threads: usize,
 ) -> FamilyPoint {
-    let mut giant_total = 0.0;
-    for t in 0..trials {
-        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
-        giant_total += ComponentCensus::compute(graph, &cfg.sampler()).giant_fraction();
-    }
+    let giant_total: f64 = Sweep::over(0..trials)
+        .run_parallel(threads.max(1), |&t| {
+            let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
+            let sample = BitsetSample::from_config(graph, &cfg);
+            ComponentCensus::compute(graph, &sample).giant_fraction()
+        })
+        .into_iter()
+        .map(|point| point.value)
+        .sum();
     let harness =
         ComplexityHarness::new(graph.clone(), PercolationConfig::new(p, base_seed ^ 0xABCD));
     let (u, v) = graph.canonical_pair();
-    let stats = harness.measure(&FloodRouter::new(), u, v, trials);
+    let stats = harness.measure_parallel(&FloodRouter::new(), u, v, trials, threads);
     let mean_probes = Summary::from_counts(stats.probe_counts().iter().copied()).mean();
     FamilyPoint {
         p,
@@ -87,6 +96,9 @@ pub struct OpenQuestionsExperiment {
     pub trials: u32,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads (1 = sequential; the reported numbers are identical
+    /// for every value).
+    pub threads: usize,
 }
 
 impl OpenQuestionsExperiment {
@@ -94,11 +106,14 @@ impl OpenQuestionsExperiment {
     pub fn with_effort(effort: Effort) -> Self {
         OpenQuestionsExperiment {
             ps: vec![0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
-            string_length: effort.pick(8, 11),
+            // Length-12 strings (4096 vertices) double the full-effort
+            // family size; tractable with the parallel harness.
+            string_length: effort.pick(8, 12),
             butterfly_dimension: effort.pick(5, 7),
             cycle_order: effort.pick(256, 2048),
             trials: effort.pick(6, 30),
             base_seed: 0xFA09,
+            threads: 1,
         }
     }
 
@@ -112,7 +127,18 @@ impl OpenQuestionsExperiment {
         Self::with_effort(Effort::Full)
     }
 
-    fn family_table<T: Topology + Clone>(&self, graph: &T, seed_offset: u64) -> FamilyMeasurement {
+    /// Sets the worker-thread count (the `--threads` knob of the binaries).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    fn family_table<T: Topology + Clone + Sync>(
+        &self,
+        graph: &T,
+        seed_offset: u64,
+    ) -> FamilyMeasurement {
         let mut table = Table::new([
             "p",
             "giant fraction",
@@ -136,6 +162,7 @@ impl OpenQuestionsExperiment {
                 self.base_seed
                     .wrapping_add(seed_offset)
                     .wrapping_add(pi as u64 * 131),
+                self.threads,
             );
             table.push_row([
                 format!("{p:.2}"),
@@ -211,7 +238,7 @@ mod tests {
     #[test]
     fn family_point_fields_are_sane() {
         let g = DeBruijn::new(7);
-        let point = measure_family_point(&g, 0.7, 5, 1);
+        let point = measure_family_point(&g, 0.7, 5, 1, 2);
         assert!((0.0..=1.0).contains(&point.giant_fraction));
         assert!((0.0..=1.0).contains(&point.pair_connectivity));
         assert!(point.normalized_flood_cost.is_nan() || point.normalized_flood_cost <= 1.0);
@@ -220,8 +247,8 @@ mod tests {
     #[test]
     fn giant_fraction_grows_with_p() {
         let g = ShuffleExchange::new(8);
-        let low = measure_family_point(&g, 0.3, 5, 2);
-        let high = measure_family_point(&g, 0.9, 5, 2);
+        let low = measure_family_point(&g, 0.3, 5, 2, 1);
+        let high = measure_family_point(&g, 0.9, 5, 2, 1);
         assert!(high.giant_fraction > low.giant_fraction);
     }
 

@@ -11,7 +11,7 @@
 use faultnet_topology::{Topology, VertexId};
 
 use crate::bfs::percolation_distance;
-use crate::sample::EdgeStates;
+use crate::sample::{BitsetSample, EdgeStates};
 use crate::PercolationConfig;
 
 /// One chemical-distance observation for a connected pair.
@@ -53,6 +53,27 @@ pub fn stretch_for_pair<T: Topology, S: EdgeStates>(
     })
 }
 
+/// Measures the stretch of one pair in the instance of trial `t` — the
+/// single source of truth for the per-trial recipe: instance seed
+/// `base_seed + t`, materialised once as a [`BitsetSample`] (the BFS behind
+/// the chemical distance inspects every edge of the explored component from
+/// both endpoints, so a single hashing pass followed by bit reads beats
+/// re-hashing per query), then [`stretch_for_pair`]. Both the sequential
+/// collector below and the parallel sweep in the experiments crate call
+/// this, so they are guaranteed to measure the same instance stream.
+pub fn stretch_sample_for_trial<T: Topology>(
+    graph: &T,
+    u: VertexId,
+    v: VertexId,
+    p: f64,
+    base_seed: u64,
+    t: u32,
+) -> Option<StretchSample> {
+    let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
+    let states = BitsetSample::from_config(graph, &cfg);
+    stretch_for_pair(graph, &states, u, v)
+}
+
 /// Collects stretch samples for a fixed pair over many independent
 /// percolation instances (skipping instances where the pair is disconnected).
 pub fn stretch_samples_over_instances<T: Topology>(
@@ -63,14 +84,9 @@ pub fn stretch_samples_over_instances<T: Topology>(
     trials: u32,
     base_seed: u64,
 ) -> Vec<StretchSample> {
-    let mut out = Vec::new();
-    for t in 0..trials {
-        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
-        if let Some(sample) = stretch_for_pair(graph, &cfg.sampler(), u, v) {
-            out.push(sample);
-        }
-    }
-    out
+    (0..trials)
+        .filter_map(|t| stretch_sample_for_trial(graph, u, v, p, base_seed, t))
+        .collect()
 }
 
 /// Summary of a set of stretch samples: how far the chemical metric deviates

@@ -37,6 +37,11 @@ impl DiameterEstimate {
 /// heuristic: BFS from an arbitrary giant vertex, then BFS again from the
 /// farthest vertex found. The second sweep's eccentricity is a lower bound on
 /// the diameter and twice it is an upper bound.
+///
+/// This makes three full passes over the instance (census + two sweeps), so
+/// callers should pass a materialised [`crate::sample::BitsetSample`] rather
+/// than the lazy sampler: the instance is then hashed once instead of three
+/// or more times.
 pub fn giant_component_diameter<T: Topology, S: EdgeStates>(
     graph: &T,
     states: &S,

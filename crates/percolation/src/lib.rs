@@ -10,6 +10,9 @@
 //!   state is a pure function of `(seed, edge)`, so an algorithm that probes
 //!   edges on demand (the paper's model) and an analysis pass that sweeps the
 //!   whole graph see exactly the same percolation instance.
+//! * [`sample::BitsetSample`] — the same instance materialised once as a
+//!   bitset over canonical edge indices, turning the repeated `is_open`
+//!   queries of dense analytics into single bit reads.
 //! * [`subgraph::PercolatedGraph`] — a view of a topology restricted to open
 //!   edges.
 //! * [`components`], [`threshold`] — giant-component census and critical
@@ -32,7 +35,7 @@ pub mod subgraph;
 pub mod threshold;
 pub mod union_find;
 
-pub use sample::{EdgeSampler, EdgeStates};
+pub use sample::{BitsetSample, EdgeSampler, EdgeStates};
 pub use subgraph::PercolatedGraph;
 
 /// Parameters of a bond-percolation experiment: the edge retention

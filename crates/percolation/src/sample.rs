@@ -6,13 +6,16 @@
 //! defined as a *pure function* of `(seed, edge id)`: a strong 64-bit mixer
 //! hashes the pair into a uniform variate which is compared against `p`.
 //!
-//! Two implementations are provided:
+//! Three implementations are provided:
 //!
 //! * [`EdgeSampler`] — the lazy, O(1)-memory sampler described above; this is
 //!   what routers probe.
+//! * [`BitsetSample`] — one percolation instance materialised as a bitset
+//!   over the topology's canonical edge indices; the backing store for dense
+//!   analytics (component censuses, chemical distances, diameters) that
+//!   query essentially every edge, often repeatedly.
 //! * [`FrozenSample`] — an eagerly materialised set of open edges (useful
-//!   for dense analytics over small graphs and for tests that want to
-//!   manipulate individual edges).
+//!   for tests that want to manipulate individual edges).
 
 use std::collections::HashSet;
 
@@ -95,6 +98,130 @@ impl EdgeSampler {
 impl EdgeStates for EdgeSampler {
     fn is_open(&self, edge: EdgeId) -> bool {
         self.uniform(edge) < self.config.p()
+    }
+}
+
+/// One percolation instance materialised as a bitset over the topology's
+/// canonical edge indices.
+///
+/// Built once per instance (one pass over [`Topology::edges`], hashing each
+/// edge exactly once through the lazy sampler), after which every `is_open`
+/// query is a single bit read — no hashing, no `HashSet` probing. This is
+/// the backing store the dense analytics use: a component census or a
+/// chemical-distance BFS inspects each edge from both endpoints, so paying
+/// the hash once and reading bits afterwards wins as soon as the consumer
+/// touches the graph more than once.
+///
+/// For families with a closed-form [`Topology::edge_index`] (hypercube,
+/// mesh, torus, complete graph) the bit position is computed arithmetically.
+/// Other families fall back to a [`FrozenSample`] of the open edges, which
+/// still materialises the instance but answers queries through one hash
+/// lookup.
+///
+/// Edges not present in the topology always report closed — unlike
+/// [`EdgeSampler`], which answers for arbitrary `EdgeId`s. The two agree on
+/// every edge of the topology the sample was built from; the property tests
+/// assert this edge for edge.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_percolation::{BitsetSample, EdgeStates, PercolationConfig};
+/// use faultnet_topology::{hypercube::Hypercube, Topology};
+///
+/// let cube = Hypercube::new(6);
+/// let sampler = PercolationConfig::new(0.5, 11).sampler();
+/// let bitset = BitsetSample::from_states(&cube, &sampler);
+/// for e in cube.edges() {
+///     assert_eq!(bitset.is_open(e), sampler.is_open(e));
+/// }
+/// assert_eq!(
+///     bitset.num_open() as usize,
+///     cube.edges().iter().filter(|e| sampler.is_open(**e)).count()
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitsetSample<'g, T> {
+    graph: &'g T,
+    /// Bit per canonical edge index; empty in fallback mode.
+    words: Vec<u64>,
+    num_open: u64,
+    /// Open-edge set, only for families without a closed-form index.
+    fallback: Option<FrozenSample>,
+}
+
+impl<'g, T: Topology> BitsetSample<'g, T> {
+    /// Materialises the state of every edge of `graph` under `states`.
+    ///
+    /// Runs in `O(|E|)` time; the bitset occupies one bit per slot of the
+    /// topology's edge-index space (fallback families store the set of open
+    /// edges instead).
+    pub fn from_states<S: EdgeStates>(graph: &'g T, states: &S) -> Self {
+        match graph.edge_index_bound() {
+            Some(bound) => {
+                let mut words = vec![0u64; bound.div_ceil(64) as usize];
+                let mut num_open = 0u64;
+                for e in graph.edges() {
+                    if states.is_open(e) {
+                        let index = graph
+                            .edge_index(e)
+                            .expect("edge_index_bound() is Some, so every edge must index");
+                        words[(index / 64) as usize] |= 1 << (index % 64);
+                        num_open += 1;
+                    }
+                }
+                BitsetSample {
+                    graph,
+                    words,
+                    num_open,
+                    fallback: None,
+                }
+            }
+            None => {
+                let frozen = FrozenSample::from_open_edges(
+                    graph.edges().into_iter().filter(|e| states.is_open(*e)),
+                );
+                BitsetSample {
+                    graph,
+                    words: Vec::new(),
+                    num_open: frozen.num_open() as u64,
+                    fallback: Some(frozen),
+                }
+            }
+        }
+    }
+
+    /// Materialises the instance identified by `config` (convenience for
+    /// `from_states(graph, &config.sampler())`).
+    pub fn from_config(graph: &'g T, config: &PercolationConfig) -> Self {
+        Self::from_states(graph, &config.sampler())
+    }
+
+    /// The topology this sample was built from.
+    pub fn graph(&self) -> &'g T {
+        self.graph
+    }
+
+    /// Number of open edges in the instance.
+    pub fn num_open(&self) -> u64 {
+        self.num_open
+    }
+
+    /// Fraction of the topology's edges that are open (the empirical `p`).
+    pub fn open_fraction(&self) -> f64 {
+        self.num_open as f64 / self.graph.num_edges() as f64
+    }
+}
+
+impl<T: Topology> EdgeStates for BitsetSample<'_, T> {
+    fn is_open(&self, edge: EdgeId) -> bool {
+        match &self.fallback {
+            Some(frozen) => frozen.is_open(edge),
+            None => match self.graph.edge_index(edge) {
+                Some(index) => self.words[(index / 64) as usize] >> (index % 64) & 1 == 1,
+                None => false,
+            },
+        }
     }
 }
 
@@ -237,6 +364,60 @@ mod tests {
         let e1 = EdgeId::new(VertexId(10), VertexId(20));
         let e2 = EdgeId::new(VertexId(20), VertexId(10));
         assert_eq!(s.uniform(e1), s.uniform(e2));
+    }
+
+    #[test]
+    fn bitset_sample_matches_lazy_sampler_on_closed_form_families() {
+        use faultnet_topology::{complete::CompleteGraph, mesh::Mesh, torus::Torus};
+        let sampler = PercolationConfig::new(0.45, 8).sampler();
+        let cube = Hypercube::new(6);
+        let mesh = Mesh::new(3, 4);
+        let torus = Torus::new(2, 5);
+        let complete = CompleteGraph::new(24);
+
+        fn check<T: faultnet_topology::Topology>(graph: &T, sampler: &EdgeSampler) {
+            let bitset = BitsetSample::from_states(graph, sampler);
+            let mut open = 0u64;
+            for e in graph.edges() {
+                assert_eq!(
+                    bitset.is_open(e),
+                    sampler.is_open(e),
+                    "disagreement at {e} on {}",
+                    graph.name()
+                );
+                open += u64::from(sampler.is_open(e));
+            }
+            assert_eq!(bitset.num_open(), open, "{}", graph.name());
+        }
+        check(&cube, &sampler);
+        check(&mesh, &sampler);
+        check(&torus, &sampler);
+        check(&complete, &sampler);
+    }
+
+    #[test]
+    fn bitset_sample_fallback_path_for_families_without_closed_form() {
+        use faultnet_topology::double_tree::DoubleBinaryTree;
+        let tt = DoubleBinaryTree::new(4);
+        assert_eq!(faultnet_topology::Topology::edge_index_bound(&tt), None);
+        let sampler = PercolationConfig::new(0.7, 21).sampler();
+        let bitset = BitsetSample::from_states(&tt, &sampler);
+        for e in tt.edges() {
+            assert_eq!(bitset.is_open(e), sampler.is_open(e));
+        }
+    }
+
+    #[test]
+    fn bitset_sample_reports_non_edges_closed() {
+        let cube = Hypercube::new(4);
+        let bitset = BitsetSample::from_config(&cube, &PercolationConfig::new(1.0, 0));
+        // {0, 3} differs in two bits: not an edge, so closed by definition,
+        // even though the lazy sampler at p = 1 calls everything open.
+        assert!(!bitset.is_open(edge(0, 3)));
+        assert!(bitset.is_open(edge(0, 1)));
+        assert_eq!(bitset.num_open(), cube.num_edges());
+        assert_eq!(bitset.open_fraction(), 1.0);
+        assert_eq!(bitset.graph().num_vertices(), 16);
     }
 
     #[test]

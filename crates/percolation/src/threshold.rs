@@ -12,16 +12,21 @@
 use faultnet_topology::Topology;
 
 use crate::components::ComponentCensus;
+use crate::sample::BitsetSample;
 use crate::PercolationConfig;
 
 /// Mean giant-component fraction of `graph` at probability `p`, averaged over
 /// `trials` independent instances derived from `base_seed`.
+///
+/// Each instance is materialised once as a [`BitsetSample`] before the
+/// census, so the union-find pass reads bits rather than hashing every edge.
 pub fn mean_giant_fraction<T: Topology>(graph: &T, p: f64, trials: u32, base_seed: u64) -> f64 {
     assert!(trials > 0, "at least one trial is required");
     let mut total = 0.0;
     for t in 0..trials {
         let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
-        let census = ComponentCensus::compute(graph, &cfg.sampler());
+        let sample = BitsetSample::from_config(graph, &cfg);
+        let census = ComponentCensus::compute(graph, &sample);
         total += census.giant_fraction();
     }
     total / trials as f64

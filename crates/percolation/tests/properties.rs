@@ -4,11 +4,14 @@ use faultnet_percolation::{
     bfs::{bfs, percolation_distance, shortest_open_path, BfsOptions},
     branching::{root_to_leaf_probability, survival_probability},
     components::ComponentCensus,
-    sample::{EdgeStates, FrozenSample},
+    sample::{BitsetSample, EdgeStates, FrozenSample},
     union_find::UnionFind,
     PercolatedGraph, PercolationConfig,
 };
-use faultnet_topology::{hypercube::Hypercube, mesh::Mesh, EdgeId, Topology, VertexId};
+use faultnet_topology::{
+    complete::CompleteGraph, de_bruijn::DeBruijn, hypercube::Hypercube, mesh::Mesh, torus::Torus,
+    EdgeId, Topology, VertexId,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -22,6 +25,53 @@ proptest! {
         for e in cube.edges() {
             prop_assert_eq!(sampler.is_open(e), sampler.is_open(e));
             prop_assert_eq!(sampler.is_open(e), frozen.is_open(e));
+        }
+    }
+
+    #[test]
+    fn bitset_sample_agrees_with_sampler_edge_for_edge(p in 0.0f64..1.0, seed in any::<u64>()) {
+        // Closed-form index families (hypercube, mesh, torus, complete) and
+        // a fallback family (de Bruijn) must all materialise into a bitset
+        // that matches the lazy sampler on every edge of the topology.
+        let sampler = PercolationConfig::new(p, seed).sampler();
+        fn agree<T: Topology>(
+            graph: &T,
+            sampler: &faultnet_percolation::EdgeSampler,
+        ) -> Result<(), TestCaseError> {
+            let bitset = BitsetSample::from_states(graph, sampler);
+            let mut open = 0u64;
+            for e in graph.edges() {
+                prop_assert!(
+                    bitset.is_open(e) == sampler.is_open(e),
+                    "disagreement at {} on {}",
+                    e,
+                    graph.name()
+                );
+                open += u64::from(sampler.is_open(e));
+            }
+            prop_assert_eq!(bitset.num_open(), open);
+            Ok(())
+        }
+        agree(&Hypercube::new(6), &sampler)?;
+        agree(&Mesh::new(2, 5), &sampler)?;
+        agree(&Torus::new(2, 4), &sampler)?;
+        agree(&CompleteGraph::new(18), &sampler)?;
+        agree(&DeBruijn::new(5), &sampler)?;
+    }
+
+    #[test]
+    fn bitset_census_matches_lazy_census(p in 0.1f64..0.9, seed in any::<u64>()) {
+        // The dense consumers were rewired from the lazy sampler to the
+        // bitset; the component structure must be unchanged.
+        let cube = Hypercube::new(7);
+        let sampler = PercolationConfig::new(p, seed).sampler();
+        let bitset = BitsetSample::from_states(&cube, &sampler);
+        let lazy = ComponentCensus::compute(&cube, &sampler);
+        let dense = ComponentCensus::compute(&cube, &bitset);
+        prop_assert_eq!(lazy.num_components(), dense.num_components());
+        prop_assert_eq!(lazy.largest_component_size(), dense.largest_component_size());
+        for v in cube.vertices() {
+            prop_assert_eq!(lazy.component_of(v), dense.component_of(v));
         }
     }
 

@@ -9,6 +9,7 @@
 //! remaining instances, verify any returned path, and record the probe
 //! counts.
 
+use faultnet_analysis::sweep::Sweep;
 use faultnet_percolation::bfs::connected;
 use faultnet_percolation::PercolationConfig;
 use faultnet_topology::{Topology, VertexId};
@@ -43,7 +44,12 @@ pub enum TrialResult {
 }
 
 /// Aggregated routing-complexity statistics for one router and vertex pair.
-#[derive(Debug, Clone)]
+///
+/// Two `ComplexityStats` compare equal iff every counter **and** the ordered
+/// list of per-trial probe counts agree; this is the equality the parallel
+/// harness's determinism contract is stated in (see
+/// [`ComplexityHarness::measure_parallel`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ComplexityStats {
     router: String,
     attempted: u32,
@@ -55,6 +61,29 @@ pub struct ComplexityStats {
 }
 
 impl ComplexityStats {
+    fn empty(router: String, attempted: u32) -> Self {
+        ComplexityStats {
+            router,
+            attempted,
+            conditioned: 0,
+            probe_counts: Vec::new(),
+            gave_up: 0,
+            budget_exhausted: 0,
+            invalid_paths: 0,
+        }
+    }
+
+    /// Folds one conditioned trial outcome into the statistics.
+    fn record(&mut self, result: TrialResult) {
+        self.conditioned += 1;
+        match result {
+            TrialResult::Routed { probes } => self.probe_counts.push(probes),
+            TrialResult::GaveUp { .. } => self.gave_up += 1,
+            TrialResult::BudgetExhausted { .. } => self.budget_exhausted += 1,
+            TrialResult::InvalidPath => self.invalid_paths += 1,
+        }
+    }
+
     /// Name of the router that was measured.
     pub fn router(&self) -> &str {
         &self.router
@@ -254,26 +283,76 @@ impl<T: Topology> ComplexityHarness<T> {
     where
         R: Router<T, faultnet_percolation::EdgeSampler>,
     {
-        let mut stats = ComplexityStats {
-            router: router.name(),
-            attempted: trials,
-            conditioned: 0,
-            probe_counts: Vec::new(),
-            gave_up: 0,
-            budget_exhausted: 0,
-            invalid_paths: 0,
-        };
+        let mut stats = ComplexityStats::empty(router.name(), trials);
         for t in 0..trials {
             let seed = self.config.seed().wrapping_add(t as u64);
-            let Some(result) = self.run_trial(router, u, v, seed) else {
-                continue;
-            };
-            stats.conditioned += 1;
-            match result {
-                TrialResult::Routed { probes } => stats.probe_counts.push(probes),
-                TrialResult::GaveUp { .. } => stats.gave_up += 1,
-                TrialResult::BudgetExhausted { .. } => stats.budget_exhausted += 1,
-                TrialResult::InvalidPath => stats.invalid_paths += 1,
+            if let Some(result) = self.run_trial(router, u, v, seed) {
+                stats.record(result);
+            }
+        }
+        stats
+    }
+
+    /// Like [`ComplexityHarness::measure`], but fans the conditioned trials
+    /// out across up to `threads` worker threads.
+    ///
+    /// Trials are independent by construction — trial `t` is a pure function
+    /// of seed `config.seed() + t` — so the trial indices are fanned across
+    /// scoped workers through [`Sweep::run_parallel`] (the workspace's one
+    /// work-queue primitive), which preserves parameter order. The per-trial
+    /// outcomes are then folded **in trial order**, which makes the result
+    /// *bit-identical* to the sequential path: for every router, seed, and
+    /// thread count, `measure_parallel(r, u, v, n, k) == measure(r, u, v, n)`
+    /// (the property tests assert this equality across seeds and thread
+    /// counts). Experiment tables therefore do not change when the
+    /// `--threads` knob does.
+    ///
+    /// `threads == 1` runs the sequential path directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, if a worker panics, or if the router reports
+    /// an error other than budget exhaustion (as in
+    /// [`ComplexityHarness::measure`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faultnet_percolation::PercolationConfig;
+    /// use faultnet_routing::{bfs::FloodRouter, complexity::ComplexityHarness};
+    /// use faultnet_topology::{hypercube::Hypercube, Topology};
+    ///
+    /// let harness = ComplexityHarness::new(Hypercube::new(7), PercolationConfig::new(0.6, 3));
+    /// let (u, v) = harness.graph().canonical_pair();
+    /// let sequential = harness.measure(&FloodRouter::new(), u, v, 12);
+    /// let parallel = harness.measure_parallel(&FloodRouter::new(), u, v, 12, 4);
+    /// assert_eq!(sequential, parallel);
+    /// ```
+    pub fn measure_parallel<R>(
+        &self,
+        router: &R,
+        u: VertexId,
+        v: VertexId,
+        trials: u32,
+        threads: usize,
+    ) -> ComplexityStats
+    where
+        T: Sync,
+        R: Router<T, faultnet_percolation::EdgeSampler> + Sync,
+    {
+        assert!(threads > 0, "at least one thread is required");
+        let threads = threads.min(trials.max(1) as usize);
+        if threads == 1 {
+            return self.measure(router, u, v, trials);
+        }
+        let per_trial = Sweep::over(0..trials).run_parallel(threads, |&t| {
+            let seed = self.config.seed().wrapping_add(t as u64);
+            self.run_trial(router, u, v, seed)
+        });
+        let mut stats = ComplexityStats::empty(router.name(), trials);
+        for point in per_trial {
+            if let Some(result) = point.value {
+                stats.record(result);
             }
         }
         stats
@@ -346,6 +425,51 @@ mod tests {
         assert_eq!(low.success_rate(), 0.0);
         assert!(low.mean_probes().is_nan());
         assert!(low.median_probes().is_none());
+    }
+
+    #[test]
+    fn parallel_measure_is_bit_identical_to_sequential() {
+        let cube = Hypercube::new(8);
+        for seed in [1u64, 7, 42] {
+            let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.45, seed));
+            let (u, v) = cube.canonical_pair();
+            let sequential = harness.measure(&FloodRouter::new(), u, v, 16);
+            for threads in [1usize, 2, 3, 8, 32] {
+                let parallel = harness.measure_parallel(&FloodRouter::new(), u, v, 16, threads);
+                assert_eq!(sequential, parallel, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_measure_preserves_budget_classification() {
+        let cube = Hypercube::new(8);
+        let harness =
+            ComplexityHarness::new(cube, PercolationConfig::new(0.5, 5)).with_probe_budget(3);
+        let (u, v) = cube.canonical_pair();
+        let sequential = harness.measure(&FloodRouter::new(), u, v, 10);
+        let parallel = harness.measure_parallel(&FloodRouter::new(), u, v, 10, 4);
+        assert_eq!(sequential, parallel);
+        assert!(parallel.budget_exhaustions() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let cube = Hypercube::new(4);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.5, 1));
+        let (u, v) = cube.canonical_pair();
+        let _ = harness.measure_parallel(&FloodRouter::new(), u, v, 4, 0);
+    }
+
+    #[test]
+    fn parallel_measure_with_zero_trials() {
+        let cube = Hypercube::new(4);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.5, 1));
+        let (u, v) = cube.canonical_pair();
+        let stats = harness.measure_parallel(&FloodRouter::new(), u, v, 0, 4);
+        assert_eq!(stats.attempted_trials(), 0);
+        assert_eq!(stats.conditioned_trials(), 0);
     }
 
     #[test]

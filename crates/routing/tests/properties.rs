@@ -9,6 +9,7 @@
 use faultnet_percolation::bfs::connected;
 use faultnet_percolation::PercolationConfig;
 use faultnet_routing::bfs::{BidirectionalOracleBfs, FloodRouter};
+use faultnet_routing::complexity::ComplexityHarness;
 use faultnet_routing::gnp::{BidirectionalGrowthRouter, IncrementalLocalRouter};
 use faultnet_routing::hypercube::SegmentRouter;
 use faultnet_routing::mesh::MeshLandmarkRouter;
@@ -136,5 +137,36 @@ proptest! {
             Ok(outcome) => prop_assert!(outcome.probes <= budget),
             Err(_) => prop_assert!(engine.probes_used() <= budget),
         }
+    }
+
+    #[test]
+    fn parallel_measure_is_bit_identical_to_sequential(
+        p in 0.2f64..0.9,
+        seed in any::<u64>(),
+        threads in 2usize..9,
+        trials in 1u32..20,
+    ) {
+        // The determinism contract of the parallel harness: for every seed,
+        // trial count, and thread count, the merged ComplexityStats equal
+        // the sequential ones field for field, probe list included.
+        let cube = Hypercube::new(7);
+        let (u, v) = cube.canonical_pair();
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(p, seed));
+        let sequential = harness.measure(&FloodRouter::new(), u, v, trials);
+        let parallel = harness.measure_parallel(&FloodRouter::new(), u, v, trials, threads);
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_measure_matches_for_incomplete_routers(seed in any::<u64>(), threads in 2usize..6) {
+        // Give-ups and budget exhaustions must also merge deterministically.
+        let cube = Hypercube::new(8);
+        let (u, v) = cube.canonical_pair();
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.4, seed))
+            .with_probe_budget(500);
+        let router = SegmentRouter::default();
+        let sequential = harness.measure(&router, u, v, 10);
+        let parallel = harness.measure_parallel(&router, u, v, 10, threads);
+        prop_assert_eq!(sequential, parallel);
     }
 }

@@ -6,7 +6,7 @@
 //! contrast the `Ω(n²)` complexity of local routing with the `Θ(n^{3/2})`
 //! complexity of oracle routing on this graph.
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// The complete graph on `n` vertices.
 ///
@@ -87,6 +87,24 @@ impl Topology for CompleteGraph {
             Some(vec![u, v])
         }
     }
+
+    /// The triangular (colexicographic-by-low-endpoint) index of `{lo, hi}`:
+    /// all edges with low endpoint `0..lo` first, then `hi - lo - 1` within
+    /// the `lo` block. Compact: the bound equals `num_edges()`.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let (i, j) = (edge.lo().0 as u128, edge.hi().0 as u128);
+        let n = self.order as u128;
+        // i*(2n - i - 1)/2 edges precede the block of low endpoint i.
+        let block_start = i * (2 * n - i - 1) / 2;
+        Some((block_start + (j - i - 1)) as u64)
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(self.num_edges())
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +125,21 @@ mod tests {
         check_topology_invariants(&CompleteGraph::new(2));
         check_topology_invariants(&CompleteGraph::new(7));
         check_topology_invariants(&CompleteGraph::new(20));
+    }
+
+    #[test]
+    fn edge_index_is_compact() {
+        // The triangular index uses every slot in 0..num_edges exactly once.
+        let k = CompleteGraph::new(9);
+        let mut indices: Vec<u64> = k
+            .edges()
+            .iter()
+            .map(|e| k.edge_index(*e).unwrap())
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..k.num_edges()).collect::<Vec<_>>());
+        assert_eq!(k.edge_index_bound(), Some(k.num_edges()));
+        assert_eq!(k.edge_index(EdgeId::new(VertexId(0), VertexId(9))), None);
     }
 
     #[test]

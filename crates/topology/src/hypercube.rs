@@ -5,7 +5,7 @@
 //! distance and a canonical geodesic flips the differing bits from the least
 //! significant to the most significant.
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// The `n`-dimensional hypercube `H_n`.
 ///
@@ -184,6 +184,23 @@ impl Topology for Hypercube {
     fn canonical_pair(&self) -> (VertexId, VertexId) {
         (VertexId(0), self.antipode(VertexId(0)))
     }
+
+    /// `lo * n + bit`, where `bit` is the flipped coordinate. The canonical
+    /// low endpoint always has that bit clear, so the mapping is injective.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let diff = edge.lo().0 ^ edge.hi().0;
+        if diff.count_ones() != 1 {
+            return None;
+        }
+        Some(edge.lo().0 * self.dimension as u64 + diff.trailing_zeros() as u64)
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(self.num_vertices() * self.dimension as u64)
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +222,21 @@ mod tests {
         for n in 1..=6 {
             check_topology_invariants(&Hypercube::new(n));
         }
+    }
+
+    #[test]
+    fn edge_index_rejects_non_edges() {
+        let cube = Hypercube::new(4);
+        // Two bits differ: not an edge.
+        assert_eq!(cube.edge_index(EdgeId::new(VertexId(0), VertexId(3))), None);
+        // Out-of-range endpoint.
+        assert_eq!(
+            cube.edge_index(EdgeId::new(VertexId(0), VertexId(16))),
+            None
+        );
+        // A real edge indexes below the bound.
+        let e = EdgeId::new(VertexId(0b0101), VertexId(0b0111));
+        assert!(cube.edge_index(e).unwrap() < cube.edge_index_bound().unwrap());
     }
 
     #[test]

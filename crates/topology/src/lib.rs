@@ -259,6 +259,38 @@ pub trait Topology {
         (VertexId(0), VertexId(self.num_vertices() - 1))
     }
 
+    /// Dense canonical index of `edge`, when the family admits a closed form.
+    ///
+    /// Families that can compute an injective `edge -> u64` mapping from
+    /// their structure (a bit position for the hypercube, an axis for the
+    /// mesh, …) override this so that materialised edge-state stores — most
+    /// importantly `faultnet-percolation`'s `BitsetSample` — can answer
+    /// `is_open` with a single bit read instead of a hash.
+    ///
+    /// The contract, checked by [`check_topology_invariants`]:
+    ///
+    /// * `edge_index` returns `Some` for an edge **iff** it is an edge of the
+    ///   fault-free graph and [`Topology::edge_index_bound`] is `Some`;
+    ///   non-edges always map to `None`.
+    /// * Returned indices are pairwise distinct and strictly below
+    ///   `edge_index_bound()`. The index space may be larger than
+    ///   `num_edges()` (unused slots are fine — consumers allocate bits, not
+    ///   entries).
+    ///
+    /// The default implementation returns `None` (no closed form).
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        let _ = edge;
+        None
+    }
+
+    /// Exclusive upper bound on the values [`Topology::edge_index`] can
+    /// return, or `None` if the family implements no closed-form index.
+    ///
+    /// Implementations must override both methods together.
+    fn edge_index_bound(&self) -> Option<u64> {
+        None
+    }
+
     /// Upper bound on the vertex degree over the whole graph.
     fn max_degree(&self) -> usize {
         // Conservative default: scan all vertices. Families override this
@@ -317,6 +349,39 @@ pub fn check_topology_invariants<T: Topology>(graph: &T) {
         "{}: edges() length disagrees with num_edges()",
         graph.name()
     );
+    match graph.edge_index_bound() {
+        Some(bound) => {
+            let mut seen_indices = std::collections::HashSet::new();
+            for e in graph.edges() {
+                let index = graph.edge_index(e).unwrap_or_else(|| {
+                    panic!(
+                        "{}: edge_index_bound() is Some but edge {e} has no index",
+                        graph.name()
+                    )
+                });
+                assert!(
+                    index < bound,
+                    "{}: edge index {index} of {e} exceeds bound {bound}",
+                    graph.name()
+                );
+                assert!(
+                    seen_indices.insert(index),
+                    "{}: duplicate edge index {index} at {e}",
+                    graph.name()
+                );
+            }
+        }
+        None => {
+            for e in graph.edges().iter().take(16) {
+                assert_eq!(
+                    graph.edge_index(*e),
+                    None,
+                    "{}: edge_index() is Some but edge_index_bound() is None",
+                    graph.name()
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! the mixed-radix encoding of the coordinate vector (least significant
 //! coordinate first).
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// The `d`-dimensional mesh with side length `m` (so `m^d` vertices).
 ///
@@ -240,6 +240,28 @@ impl Topology for Mesh {
         let corner = vec![self.side - 1; self.dimension as usize];
         (self.vertex_at(&origin), self.vertex_at(&corner))
     }
+
+    /// `lo * d + axis`. A mesh edge steps by exactly `side^axis` without
+    /// crossing a row boundary, so the pair `(lo, axis)` identifies it.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let delta = edge.hi().0 - edge.lo().0;
+        let mut stride: u64 = 1;
+        for axis in 0..self.dimension as u64 {
+            if delta == stride {
+                let coord = (edge.lo().0 / stride) % self.side;
+                return (coord + 1 < self.side).then(|| edge.lo().0 * self.dimension as u64 + axis);
+            }
+            stride *= self.side;
+        }
+        None
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(self.num_vertices() * self.dimension as u64)
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +283,17 @@ mod tests {
         check_topology_invariants(&Mesh::new(2, 5));
         check_topology_invariants(&Mesh::new(3, 4));
         check_topology_invariants(&Mesh::new(4, 3));
+    }
+
+    #[test]
+    fn edge_index_rejects_row_boundary_pairs() {
+        // In the 5x5 grid, ids 4 = (4,0) and 5 = (0,1) are consecutive but
+        // not adjacent: the +1 step crosses a row boundary.
+        let grid = Mesh::new(2, 5);
+        assert_eq!(grid.edge_index(EdgeId::new(VertexId(4), VertexId(5))), None);
+        // The same delta one row up is a real edge.
+        let e = EdgeId::new(VertexId(5), VertexId(6));
+        assert!(grid.edge_index(e).is_some());
     }
 
     #[test]

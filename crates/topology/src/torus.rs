@@ -6,7 +6,7 @@
 //! when measuring bulk percolation quantities (chemical distance, giant
 //! component fraction) and is used by the ablation experiments.
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// The `d`-dimensional torus with side length `m` (`m^d` vertices, all of
 /// degree `2d`).
@@ -176,6 +176,32 @@ impl Topology for Torus {
         let far = vec![self.side / 2; self.dimension as usize];
         (self.vertex_at(&origin), self.vertex_at(&far))
     }
+
+    /// `(lo * d + axis) * 2 + kind`, with kind 0 for an in-row step edge and
+    /// kind 1 for the wrap-around edge of the axis. The two kinds share a low
+    /// endpoint only at coordinate 0, where both slots are needed.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let delta = edge.hi().0 - edge.lo().0;
+        let mut stride: u64 = 1;
+        for axis in 0..self.dimension as u64 {
+            let coord = (edge.lo().0 / stride) % self.side;
+            if delta == stride && coord + 1 < self.side {
+                return Some((edge.lo().0 * self.dimension as u64 + axis) * 2);
+            }
+            if delta == (self.side - 1) * stride && coord == 0 {
+                return Some((edge.lo().0 * self.dimension as u64 + axis) * 2 + 1);
+            }
+            stride *= self.side;
+        }
+        None
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(self.num_vertices() * self.dimension as u64 * 2)
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +224,20 @@ mod tests {
         check_topology_invariants(&Torus::new(1, 5));
         check_topology_invariants(&Torus::new(2, 4));
         check_topology_invariants(&Torus::new(3, 3));
+    }
+
+    #[test]
+    fn edge_index_separates_step_and_wrap_edges() {
+        let t = Torus::new(2, 5);
+        // Both edges have low endpoint (0, 0) on axis 0: the in-row step to
+        // (1, 0) and the wrap to (4, 0). They must get distinct indices.
+        let step = EdgeId::new(t.vertex_at(&[0, 0]), t.vertex_at(&[1, 0]));
+        let wrap = EdgeId::new(t.vertex_at(&[0, 0]), t.vertex_at(&[4, 0]));
+        let (si, wi) = (t.edge_index(step).unwrap(), t.edge_index(wrap).unwrap());
+        assert_ne!(si, wi);
+        // A two-axis move is not an edge.
+        let diag = EdgeId::new(t.vertex_at(&[0, 0]), t.vertex_at(&[1, 1]));
+        assert_eq!(t.edge_index(diag), None);
     }
 
     #[test]

@@ -21,9 +21,10 @@ fn main() {
     let trials = 15;
     let budget = 60_000;
     let alphas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    let threads = faultnet_experiments::cli::resolve_threads(0);
 
     println!(
-        "hypercube n = {dimension}: sweeping p = n^-alpha with a {budget}-probe budget, {trials} trials per point"
+        "hypercube n = {dimension}: sweeping p = n^-alpha with a {budget}-probe budget, {trials} trials per point, {threads} threads"
     );
     println!();
 
@@ -37,7 +38,8 @@ fn main() {
     let mut curve = Vec::new();
     let mut log_curve = Vec::new();
     for (i, &alpha) in alphas.iter().enumerate() {
-        let point = measure_alpha_point(dimension, alpha, trials, budget, 31_000 + i as u64);
+        let point =
+            measure_alpha_point(dimension, alpha, trials, budget, 31_000 + i as u64, threads);
         table.push_row([
             format!("{alpha:.1}"),
             format!("{:.4}", point.p),

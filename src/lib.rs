@@ -51,7 +51,9 @@ pub mod prelude {
         table::Table,
     };
     pub use faultnet_percolation::{
-        components::ComponentCensus, sample::EdgeSampler, subgraph::PercolatedGraph,
+        components::ComponentCensus,
+        sample::{BitsetSample, EdgeSampler},
+        subgraph::PercolatedGraph,
         PercolationConfig,
     };
     pub use faultnet_routing::{
