@@ -11,6 +11,7 @@ use faultnet_percolation::threshold::mean_giant_fraction;
 use faultnet_percolation::PercolationConfig;
 use faultnet_routing::bfs::FloodRouter;
 use faultnet_routing::complexity::ComplexityHarness;
+use faultnet_topology::de_bruijn::DeBruijn;
 use faultnet_topology::hypercube::Hypercube;
 use faultnet_topology::torus::Torus;
 use faultnet_topology::Topology;
@@ -55,6 +56,22 @@ fn bench_is_open_backends(c: &mut Criterion) {
     });
     group.bench_function("bitset_build", |b| {
         b.iter(|| BitsetSample::from_states(&cube, &sampler).num_open())
+    });
+    // Same comparison on a newly indexed constant-degree family: the de
+    // Bruijn graph used to take the FrozenSample fallback; its closed-form
+    // arc index now gives it the single-bit-read path too.
+    let db = DeBruijn::new(12);
+    let db_bitset = BitsetSample::from_states(&db, &sampler);
+    let db_edges = db.edges();
+    group.throughput(Throughput::Elements(db_edges.len() as u64));
+    group.bench_function("de_bruijn_lazy_hash_per_query", |b| {
+        b.iter(|| db_edges.iter().filter(|e| sampler.is_open(**e)).count())
+    });
+    group.bench_function("de_bruijn_bitset_bit_read", |b| {
+        b.iter(|| db_edges.iter().filter(|e| db_bitset.is_open(**e)).count())
+    });
+    group.bench_function("de_bruijn_bitset_build", |b| {
+        b.iter(|| BitsetSample::from_states(&db, &sampler).num_open())
     });
     group.finish();
 }

@@ -12,57 +12,16 @@
 //!   are identical for every thread count.
 
 use faultnet_experiments::cli::ExpArgs;
-use faultnet_experiments::{
-    ablation::AblationExperiment, chemical_distance::ChemicalDistanceExperiment,
-    double_tree::DoubleTreeExperiment, gnp::GnpExperiment,
-    hypercube_giant::HypercubeGiantExperiment,
-    hypercube_lower_bound::HypercubeLowerBoundExperiment,
-    hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
-    mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment,
-    ExperimentReport,
-};
+use faultnet_experiments::suite::run_all_reports;
 
 fn main() {
     let args = ExpArgs::parse_env();
-    let (effort, threads) = (args.effort, args.threads);
-
-    let reports: Vec<ExperimentReport> = vec![
-        HypercubeTransitionExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        HypercubeLowerBoundExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        MeshRoutingExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        ChemicalDistanceExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        DoubleTreeExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        GnpExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        HypercubeGiantExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        MeshThresholdExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        OpenQuestionsExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        AblationExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-    ];
+    let reports = run_all_reports(args.effort, args.threads);
 
     for report in &reports {
         args.print(report);
     }
     // Deliberately thread-count-free: all output (stdout and stderr) must
     // be byte-identical across --threads values.
-    eprintln!("ran {} experiments ({} mode)", reports.len(), effort);
+    eprintln!("ran {} experiments ({} mode)", reports.len(), args.effort);
 }

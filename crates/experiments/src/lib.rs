@@ -41,5 +41,6 @@ pub mod mesh_routing;
 pub mod mesh_threshold;
 pub mod open_questions;
 pub mod report;
+pub mod suite;
 
 pub use report::{Effort, ExperimentReport};

@@ -52,6 +52,11 @@ pub struct FamilyPoint {
 /// Measures one family at one probability, fanning both the component
 /// censuses and the conditioned routing trials across `threads` workers
 /// (1 = sequential; the result is identical either way).
+///
+/// Every candidate family has a closed-form `Topology::edge_index`, so the
+/// per-instance [`BitsetSample`] always materialises as a true bitset
+/// (single-bit `is_open` reads) — the census loop never pays the
+/// `FrozenSample` hash path. A test below pins this down.
 pub fn measure_family_point<T: Topology + Clone + Sync>(
     graph: &T,
     p: f64,
@@ -250,6 +255,40 @@ mod tests {
         let low = measure_family_point(&g, 0.3, 5, 2, 1);
         let high = measure_family_point(&g, 0.9, 5, 2, 1);
         assert!(high.giant_fraction > low.giant_fraction);
+    }
+
+    #[test]
+    fn e9_families_materialise_on_the_bitset_backend() {
+        // The experiment's dense path builds one BitsetSample per instance;
+        // all four candidate families must take the arithmetic-index path.
+        use faultnet_percolation::sample::SampleBackend;
+        let quick = OpenQuestionsExperiment::quick();
+        let cfg = PercolationConfig::new(0.5, quick.base_seed);
+        let de_bruijn = DeBruijn::new(quick.string_length);
+        let shuffle = ShuffleExchange::new(quick.string_length);
+        let butterfly = Butterfly::new(quick.butterfly_dimension);
+        let cycle = CycleWithMatching::new(
+            quick.cycle_order,
+            MatchingKind::Random {
+                seed: quick.base_seed,
+            },
+        );
+        assert_eq!(
+            BitsetSample::from_config(&de_bruijn, &cfg).backend(),
+            SampleBackend::Bitset
+        );
+        assert_eq!(
+            BitsetSample::from_config(&shuffle, &cfg).backend(),
+            SampleBackend::Bitset
+        );
+        assert_eq!(
+            BitsetSample::from_config(&butterfly, &cfg).backend(),
+            SampleBackend::Bitset
+        );
+        assert_eq!(
+            BitsetSample::from_config(&cycle, &cfg).backend(),
+            SampleBackend::Bitset
+        );
     }
 
     #[test]

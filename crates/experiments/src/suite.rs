@@ -1,0 +1,56 @@
+//! The full experiment suite in canonical order — what `run_all` executes.
+//!
+//! Kept as a library function so the `run_all` binary and the end-to-end
+//! regression tests run the exact same sequence: the tests assert that the
+//! rendered output is byte-identical across `--threads` values, which is the
+//! determinism contract the parallel harness promises.
+
+use crate::{
+    ablation::AblationExperiment, chemical_distance::ChemicalDistanceExperiment,
+    double_tree::DoubleTreeExperiment, gnp::GnpExperiment,
+    hypercube_giant::HypercubeGiantExperiment,
+    hypercube_lower_bound::HypercubeLowerBoundExperiment,
+    hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
+    mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment, Effort,
+    ExperimentReport,
+};
+
+/// Runs every experiment at the given effort across `threads` workers, in
+/// the canonical E1→E10 order, and returns the reports.
+///
+/// The reported numbers are a pure function of `effort` (each experiment
+/// bakes in its base seed); `threads` only changes wall-clock time.
+pub fn run_all_reports(effort: Effort, threads: usize) -> Vec<ExperimentReport> {
+    vec![
+        HypercubeTransitionExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        HypercubeLowerBoundExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        MeshRoutingExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        ChemicalDistanceExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        DoubleTreeExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        GnpExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        HypercubeGiantExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        MeshThresholdExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        OpenQuestionsExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+        AblationExperiment::with_effort(effort)
+            .with_threads(threads)
+            .run(),
+    ]
+}

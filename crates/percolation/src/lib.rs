@@ -35,7 +35,7 @@ pub mod subgraph;
 pub mod threshold;
 pub mod union_find;
 
-pub use sample::{BitsetSample, EdgeSampler, EdgeStates};
+pub use sample::{BitsetSample, EdgeSampler, EdgeStates, SampleBackend};
 pub use subgraph::PercolatedGraph;
 
 /// Parameters of a bond-percolation experiment: the edge retention

@@ -101,6 +101,22 @@ impl EdgeStates for EdgeSampler {
     }
 }
 
+/// Which storage strategy a [`BitsetSample`] ended up using, as reported by
+/// [`BitsetSample::backend`].
+///
+/// Dense paths are expected to run on [`SampleBackend::Bitset`]; the
+/// [`SampleBackend::Frozen`] fallback only exists for third-party topologies
+/// without a closed-form [`Topology::edge_index`]. Tests probe this so a
+/// family silently losing its closed form fails loudly instead of silently
+/// degrading every dense consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleBackend {
+    /// Closed-form edge indices: `is_open` is a single bit read.
+    Bitset,
+    /// No closed-form index: open edges held in a hash set.
+    Frozen,
+}
+
 /// One percolation instance materialised as a bitset over the topology's
 /// canonical edge indices.
 ///
@@ -112,11 +128,13 @@ impl EdgeStates for EdgeSampler {
 /// the hash once and reading bits afterwards wins as soon as the consumer
 /// touches the graph more than once.
 ///
-/// For families with a closed-form [`Topology::edge_index`] (hypercube,
-/// mesh, torus, complete graph) the bit position is computed arithmetically.
-/// Other families fall back to a [`FrozenSample`] of the open edges, which
+/// Every built-in family implements the closed-form
+/// [`Topology::edge_index`], so for all of them the bit position is computed
+/// arithmetically and queries never hash. Third-party topologies without a
+/// closed form fall back to a [`FrozenSample`] of the open edges, which
 /// still materialises the instance but answers queries through one hash
-/// lookup.
+/// lookup; [`BitsetSample::backend`] reports which path was taken, and the
+/// test suite asserts no built-in family ever regresses to the fallback.
 ///
 /// Edges not present in the topology always report closed — unlike
 /// [`EdgeSampler`], which answers for arbitrary `EdgeId`s. The two agree on
@@ -141,7 +159,7 @@ impl EdgeStates for EdgeSampler {
 /// );
 /// ```
 #[derive(Debug, Clone)]
-pub struct BitsetSample<'g, T> {
+pub struct BitsetSample<'g, T: ?Sized> {
     graph: &'g T,
     /// Bit per canonical edge index; empty in fallback mode.
     words: Vec<u64>,
@@ -150,7 +168,7 @@ pub struct BitsetSample<'g, T> {
     fallback: Option<FrozenSample>,
 }
 
-impl<'g, T: Topology> BitsetSample<'g, T> {
+impl<'g, T: Topology + ?Sized> BitsetSample<'g, T> {
     /// Materialises the state of every edge of `graph` under `states`.
     ///
     /// Runs in `O(|E|)` time; the bitset occupies one bit per slot of the
@@ -207,13 +225,24 @@ impl<'g, T: Topology> BitsetSample<'g, T> {
         self.num_open
     }
 
+    /// Which storage strategy this sample uses: [`SampleBackend::Bitset`]
+    /// when the topology provides a closed-form edge index (every built-in
+    /// family does), [`SampleBackend::Frozen`] otherwise.
+    pub fn backend(&self) -> SampleBackend {
+        if self.fallback.is_some() {
+            SampleBackend::Frozen
+        } else {
+            SampleBackend::Bitset
+        }
+    }
+
     /// Fraction of the topology's edges that are open (the empirical `p`).
     pub fn open_fraction(&self) -> f64 {
         self.num_open as f64 / self.graph.num_edges() as f64
     }
 }
 
-impl<T: Topology> EdgeStates for BitsetSample<'_, T> {
+impl<T: Topology + ?Sized> EdgeStates for BitsetSample<'_, T> {
     fn is_open(&self, edge: EdgeId) -> bool {
         match &self.fallback {
             Some(frozen) => frozen.is_open(edge),
@@ -243,7 +272,7 @@ impl FrozenSample {
     }
 
     /// Materialises the lazy sampler over all edges of `graph`.
-    pub fn from_sampler<T: Topology>(graph: &T, sampler: &EdgeSampler) -> Self {
+    pub fn from_sampler<T: Topology + ?Sized>(graph: &T, sampler: &EdgeSampler) -> Self {
         let mut open = HashSet::new();
         for e in graph.edges() {
             if sampler.is_open(e) {
@@ -395,16 +424,66 @@ mod tests {
         check(&complete, &sampler);
     }
 
+    /// A path graph that deliberately implements no closed-form edge index,
+    /// standing in for third-party topologies: the only way to reach the
+    /// [`FrozenSample`] fallback now that every built-in family indexes.
+    #[derive(Debug, Clone, Copy)]
+    struct IndexlessPath {
+        len: u64,
+    }
+
+    impl faultnet_topology::Topology for IndexlessPath {
+        fn num_vertices(&self) -> u64 {
+            self.len
+        }
+
+        fn num_edges(&self) -> u64 {
+            self.len - 1
+        }
+
+        fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+            assert!(self.contains(v), "vertex {v} out of range");
+            let mut out = Vec::with_capacity(2);
+            if v.0 > 0 {
+                out.push(VertexId(v.0 - 1));
+            }
+            if v.0 + 1 < self.len {
+                out.push(VertexId(v.0 + 1));
+            }
+            out
+        }
+
+        fn name(&self) -> String {
+            format!("indexless_path(len={})", self.len)
+        }
+    }
+
     #[test]
-    fn bitset_sample_fallback_path_for_families_without_closed_form() {
-        use faultnet_topology::double_tree::DoubleBinaryTree;
-        let tt = DoubleBinaryTree::new(4);
-        assert_eq!(faultnet_topology::Topology::edge_index_bound(&tt), None);
+    fn bitset_sample_fallback_path_for_topologies_without_closed_form() {
+        let path = IndexlessPath { len: 40 };
+        assert_eq!(faultnet_topology::Topology::edge_index_bound(&path), None);
         let sampler = PercolationConfig::new(0.7, 21).sampler();
-        let bitset = BitsetSample::from_states(&tt, &sampler);
-        for e in tt.edges() {
+        let bitset = BitsetSample::from_states(&path, &sampler);
+        assert_eq!(bitset.backend(), SampleBackend::Frozen);
+        for e in faultnet_topology::Topology::edges(&path) {
             assert_eq!(bitset.is_open(e), sampler.is_open(e));
         }
+    }
+
+    #[test]
+    fn built_in_families_take_the_bitset_backend() {
+        use faultnet_topology::double_tree::DoubleBinaryTree;
+        let sampler = PercolationConfig::new(0.5, 4).sampler();
+        let cube = Hypercube::new(5);
+        assert_eq!(
+            BitsetSample::from_states(&cube, &sampler).backend(),
+            SampleBackend::Bitset
+        );
+        let tt = DoubleBinaryTree::new(4);
+        assert_eq!(
+            BitsetSample::from_states(&tt, &sampler).backend(),
+            SampleBackend::Bitset
+        );
     }
 
     #[test]

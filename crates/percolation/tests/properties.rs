@@ -4,15 +4,62 @@ use faultnet_percolation::{
     bfs::{bfs, percolation_distance, shortest_open_path, BfsOptions},
     branching::{root_to_leaf_probability, survival_probability},
     components::ComponentCensus,
-    sample::{BitsetSample, EdgeStates, FrozenSample},
+    sample::{BitsetSample, EdgeStates, FrozenSample, SampleBackend},
     union_find::UnionFind,
     PercolatedGraph, PercolationConfig,
 };
 use faultnet_topology::{
-    complete::CompleteGraph, de_bruijn::DeBruijn, hypercube::Hypercube, mesh::Mesh, torus::Torus,
+    binary_tree::BinaryTree,
+    butterfly::Butterfly,
+    complete::CompleteGraph,
+    cycle_matching::{CycleWithMatching, MatchingKind},
+    de_bruijn::DeBruijn,
+    double_tree::DoubleBinaryTree,
+    explicit::ExplicitGraph,
+    hypercube::Hypercube,
+    mesh::Mesh,
+    shuffle_exchange::ShuffleExchange,
+    torus::Torus,
     EdgeId, Topology, VertexId,
 };
 use proptest::prelude::*;
+
+/// One small instance of every built-in family, used to sweep "all families"
+/// checks without repeating the constructor list.
+fn family_zoo() -> Vec<Box<dyn Topology>> {
+    vec![
+        Box::new(Hypercube::new(5)),
+        Box::new(Mesh::new(2, 5)),
+        Box::new(Torus::new(2, 4)),
+        Box::new(CompleteGraph::new(16)),
+        Box::new(DeBruijn::new(5)),
+        Box::new(ShuffleExchange::new(5)),
+        Box::new(Butterfly::new(3)),
+        Box::new(BinaryTree::new(4)),
+        Box::new(DoubleBinaryTree::new(3)),
+        Box::new(CycleWithMatching::new(16, MatchingKind::Antipodal)),
+        Box::new(CycleWithMatching::new(16, MatchingKind::Random { seed: 5 })),
+        Box::new(ExplicitGraph::from_topology(&Mesh::new(2, 4))),
+    ]
+}
+
+/// Every built-in family must take the bitset path — a family silently
+/// regressing to the [`FrozenSample`] fallback (say, by losing its
+/// closed-form `edge_index`) fails this test rather than just slowing every
+/// dense consumer down.
+#[test]
+fn every_builtin_family_takes_the_bitset_backend() {
+    let sampler = PercolationConfig::new(0.5, 99).sampler();
+    for graph in family_zoo() {
+        let sample = BitsetSample::from_states(graph.as_ref(), &sampler);
+        assert_eq!(
+            sample.backend(),
+            SampleBackend::Bitset,
+            "{} fell back to the FrozenSample path",
+            graph.name()
+        );
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -29,34 +76,40 @@ proptest! {
     }
 
     #[test]
-    fn bitset_sample_agrees_with_sampler_edge_for_edge(p in 0.0f64..1.0, seed in any::<u64>()) {
-        // Closed-form index families (hypercube, mesh, torus, complete) and
-        // a fallback family (de Bruijn) must all materialise into a bitset
-        // that matches the lazy sampler on every edge of the topology.
+    fn all_backends_agree_on_every_family(p in 0.0f64..1.0, seed in any::<u64>()) {
+        // Lazy hashing, the bitset over closed-form edge indices, and the
+        // eagerly frozen set must report identical `is_open` verdicts for
+        // every edge of every built-in family, at every seed.
         let sampler = PercolationConfig::new(p, seed).sampler();
-        fn agree<T: Topology>(
-            graph: &T,
-            sampler: &faultnet_percolation::EdgeSampler,
-        ) -> Result<(), TestCaseError> {
-            let bitset = BitsetSample::from_states(graph, sampler);
+        for graph in family_zoo() {
+            let graph = graph.as_ref();
+            let bitset = BitsetSample::from_states(graph, &sampler);
+            prop_assert!(
+                bitset.backend() == SampleBackend::Bitset,
+                "{} fell back to FrozenSample",
+                graph.name()
+            );
+            let frozen = FrozenSample::from_sampler(graph, &sampler);
             let mut open = 0u64;
             for e in graph.edges() {
+                let lazy = sampler.is_open(e);
                 prop_assert!(
-                    bitset.is_open(e) == sampler.is_open(e),
-                    "disagreement at {} on {}",
+                    bitset.is_open(e) == lazy,
+                    "bitset disagreement at {} on {}",
                     e,
                     graph.name()
                 );
-                open += u64::from(sampler.is_open(e));
+                prop_assert!(
+                    frozen.is_open(e) == lazy,
+                    "frozen disagreement at {} on {}",
+                    e,
+                    graph.name()
+                );
+                open += u64::from(lazy);
             }
             prop_assert_eq!(bitset.num_open(), open);
-            Ok(())
+            prop_assert_eq!(frozen.num_open() as u64, open);
         }
-        agree(&Hypercube::new(6), &sampler)?;
-        agree(&Mesh::new(2, 5), &sampler)?;
-        agree(&Torus::new(2, 4), &sampler)?;
-        agree(&CompleteGraph::new(18), &sampler)?;
-        agree(&DeBruijn::new(5), &sampler)?;
     }
 
     #[test]

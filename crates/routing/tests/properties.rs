@@ -7,6 +7,7 @@
 //! event `{u ∼ v}` holds.
 
 use faultnet_percolation::bfs::connected;
+use faultnet_percolation::sample::{BitsetSample, SampleBackend};
 use faultnet_percolation::PercolationConfig;
 use faultnet_routing::bfs::{BidirectionalOracleBfs, FloodRouter};
 use faultnet_routing::complexity::ComplexityHarness;
@@ -17,6 +18,7 @@ use faultnet_routing::probe::ProbeEngine;
 use faultnet_routing::router::Router;
 use faultnet_routing::tree::{LeafPenetrationRouter, PairedDfsOracleRouter};
 use faultnet_topology::complete::CompleteGraph;
+use faultnet_topology::de_bruijn::DeBruijn;
 use faultnet_topology::double_tree::DoubleBinaryTree;
 use faultnet_topology::hypercube::Hypercube;
 use faultnet_topology::mesh::Mesh;
@@ -125,6 +127,23 @@ proptest! {
             prop_assert!(lp.is_valid_open_path(&k, &sampler));
             prop_assert!(op.is_valid_open_path(&k, &sampler));
         }
+    }
+
+    #[test]
+    fn routing_over_bitset_states_matches_lazy_states(p in 0.2f64..0.9, seed in any::<u64>()) {
+        // A router fed edge states from a materialised BitsetSample must
+        // behave identically — probe for probe — to one fed the lazy
+        // sampler, including on the newly indexed constant-degree families.
+        let g = DeBruijn::new(7);
+        let (u, v) = g.canonical_pair();
+        let sampler = PercolationConfig::new(p, seed).sampler();
+        let bitset = BitsetSample::from_states(&g, &sampler);
+        prop_assert_eq!(bitset.backend(), SampleBackend::Bitset);
+        let mut lazy_engine = ProbeEngine::local(&g, &sampler, u);
+        let mut bitset_engine = ProbeEngine::local(&g, &bitset, u);
+        let lazy = FloodRouter::new().route(&mut lazy_engine, u, v).unwrap();
+        let dense = FloodRouter::new().route(&mut bitset_engine, u, v).unwrap();
+        prop_assert_eq!(lazy, dense);
     }
 
     #[test]

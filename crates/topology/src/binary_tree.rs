@@ -9,7 +9,7 @@
 //! Vertices use 1-based heap indices shifted down by one: the root is id `0`
 //! and node `v` has children `2v + 1` and `2v + 2`.
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// A complete rooted binary tree of the given depth (`2^{depth+1} - 1`
 /// vertices; leaves at distance `depth` from the root).
@@ -174,6 +174,21 @@ impl Topology for BinaryTree {
         // The root and the last leaf: a depth-realising pair.
         (self.root(), VertexId(self.num_vertices() - 1))
     }
+
+    /// `child − 1`: every edge joins a child to its parent `(child − 1) / 2`,
+    /// which is always the smaller id, so the child identifies the edge.
+    /// Compact — the bound equals `num_edges()`.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        // `hi >= 1` because the canonical low endpoint is strictly smaller.
+        (edge.lo().0 == (edge.hi().0 - 1) / 2).then(|| edge.hi().0 - 1)
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(self.num_vertices() - 1)
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +269,24 @@ mod tests {
         for pair in path.windows(2) {
             assert!(t.has_edge(pair[0], pair[1]));
         }
+    }
+
+    #[test]
+    fn edge_index_is_compact_and_rejects_non_edges() {
+        let t = BinaryTree::new(4);
+        let mut indices: Vec<u64> = t
+            .edges()
+            .iter()
+            .map(|e| t.edge_index(*e).unwrap())
+            .collect();
+        indices.sort_unstable();
+        // Children 1..n-1 give the full range 0..num_edges with no gaps.
+        assert_eq!(indices, (0..t.num_edges()).collect::<Vec<_>>());
+        assert_eq!(t.edge_index_bound(), Some(t.num_edges()));
+        // Siblings are not adjacent.
+        assert_eq!(t.edge_index(EdgeId::new(VertexId(1), VertexId(2))), None);
+        // Grandparent-grandchild is not an edge.
+        assert_eq!(t.edge_index(EdgeId::new(VertexId(0), VertexId(3))), None);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!
 //! Vertex ids encode `(level, row)` as `level * 2^n + row`.
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// The unwrapped butterfly with `n+1` levels of `2^n` rows each.
 ///
@@ -126,6 +126,33 @@ impl Topology for Butterfly {
             self.vertex_at(self.dimension, self.rows() - 1),
         )
     }
+
+    /// `2·lo + kind`, kind 0 for the straight edge and 1 for the cross edge
+    /// out of the lower-level endpoint `lo` (ids grow with the level, so the
+    /// canonical low endpoint is always the lower level). The pair
+    /// `(lo, kind)` reconstructs the upper endpoint, so the map is
+    /// injective; the top level's slots stay unused.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let (lo_level, lo_row) = self.level_row(edge.lo());
+        let (hi_level, hi_row) = self.level_row(edge.hi());
+        if hi_level != lo_level + 1 {
+            return None;
+        }
+        if hi_row == lo_row {
+            return Some(2 * edge.lo().0);
+        }
+        if hi_row == lo_row ^ (1u64 << lo_level) {
+            return Some(2 * edge.lo().0 + 1);
+        }
+        None
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(2 * self.num_vertices())
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +202,29 @@ mod tests {
         assert!(neigh.contains(&bf.vertex_at(0, 0b011)));
         assert!(neigh.contains(&bf.vertex_at(2, 0b010)));
         assert!(neigh.contains(&bf.vertex_at(2, 0b000)));
+    }
+
+    #[test]
+    fn edge_index_distinguishes_straight_and_cross_edges() {
+        let bf = Butterfly::new(3);
+        let v = bf.vertex_at(1, 0b010);
+        let straight = EdgeId::new(v, bf.vertex_at(2, 0b010));
+        let cross = EdgeId::new(v, bf.vertex_at(2, 0b000));
+        assert_eq!(bf.edge_index(straight), Some(2 * v.0));
+        assert_eq!(bf.edge_index(cross), Some(2 * v.0 + 1));
+        // Same level: never an edge.
+        assert_eq!(
+            bf.edge_index(EdgeId::new(bf.vertex_at(1, 0), bf.vertex_at(1, 1))),
+            None
+        );
+        // Adjacent levels but wrong bit flipped.
+        assert_eq!(
+            bf.edge_index(EdgeId::new(bf.vertex_at(1, 0b010), bf.vertex_at(2, 0b011))),
+            None
+        );
+        // Out-of-range endpoint.
+        let n = bf.num_vertices();
+        assert_eq!(bf.edge_index(EdgeId::new(VertexId(0), VertexId(n))), None);
     }
 
     #[test]

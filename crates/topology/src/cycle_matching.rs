@@ -12,7 +12,7 @@
 //! an internal SplitMix64 shuffle, so the topology stays a pure function of
 //! its parameters.
 
-use crate::{Topology, VertexId};
+use crate::{splitmix64, EdgeId, Topology, VertexId};
 
 /// How the matching chords of a [`CycleWithMatching`] are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,14 +44,6 @@ pub struct CycleWithMatching {
     kind: MatchingKind,
     /// partner[i] = the vertex matched with i.
     partner: Vec<u64>,
-}
-
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl CycleWithMatching {
@@ -161,6 +153,33 @@ impl Topology for CycleWithMatching {
     fn canonical_pair(&self) -> (VertexId, VertexId) {
         (VertexId(0), VertexId(self.order / 2))
     }
+
+    /// `2·v + kind`: the cycle edge leaving `v` clockwise (the wrap edge
+    /// `{0, n−1}` counts as leaving `n−1`) takes the even slot of `v`, and
+    /// the matching chord with lower endpoint `v` takes the odd slot. A
+    /// chord that coincides with a cycle edge indexes through the cycle
+    /// slot, leaving its odd slot unused, so every edge has exactly one
+    /// index.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let (lo, hi) = (edge.lo().0, edge.hi().0);
+        if hi == lo + 1 {
+            return Some(2 * lo);
+        }
+        if lo == 0 && hi == self.order - 1 {
+            return Some(2 * (self.order - 1));
+        }
+        if self.partner[lo as usize] == hi {
+            return Some(2 * lo + 1);
+        }
+        None
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(2 * self.order)
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +236,33 @@ mod tests {
         let g = CycleWithMatching::new(4, MatchingKind::Antipodal);
         assert_eq!(g.num_edges(), 6); // K4
         check_topology_invariants(&g);
+    }
+
+    #[test]
+    fn edge_index_slots_cycle_and_chord_edges() {
+        let g = CycleWithMatching::new(12, MatchingKind::Antipodal);
+        // Cycle edge {3, 4} -> even slot of 3.
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(3), VertexId(4))), Some(6));
+        // Wrap edge {0, 11} -> even slot of 11.
+        assert_eq!(
+            g.edge_index(EdgeId::new(VertexId(0), VertexId(11))),
+            Some(22)
+        );
+        // Chord {2, 8} -> odd slot of 2.
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(2), VertexId(8))), Some(5));
+        // {1, 3} is neither a cycle edge nor a chord.
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(1), VertexId(3))), None);
+    }
+
+    #[test]
+    fn edge_index_handles_chords_coinciding_with_cycle_edges() {
+        // n = 4 antipodal is K4: chords {0,2} and {1,3} plus the 4-cycle.
+        let g = CycleWithMatching::new(4, MatchingKind::Antipodal);
+        // The wrap edge {0, 3} is a cycle edge; 3's partner is 1, not 0.
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(3))), Some(6));
+        // The chords of K4 use odd slots.
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(2))), Some(1));
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(1), VertexId(3))), Some(3));
     }
 
     #[test]

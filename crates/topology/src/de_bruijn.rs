@@ -7,7 +7,7 @@
 //! questions (§6): does the routing phase transition coincide with the
 //! percolation phase transition on such graphs?
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// The undirected de Bruijn graph on `2^n` vertices (maximum degree 4).
 ///
@@ -101,6 +101,31 @@ impl Topology for DeBruijn {
         // All-zeros and all-ones are at distance n (need n shifts).
         (VertexId(0), VertexId(self.mask()))
     }
+
+    /// `2·v + b` for the canonical directed arc `v → (2v + b) mod 2^n`
+    /// behind the edge; the arc from the smaller endpoint is preferred when
+    /// both directions exist. An index reconstructs its arc — and hence its
+    /// edge — uniquely, so the mapping is injective even across the
+    /// self-loop / antiparallel-arc collapses.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let (lo, hi) = edge.endpoints();
+        if self.successors(lo).contains(&hi) {
+            // Both successors of `lo` share every bit except bit 0, so the
+            // arc's shift-in bit is exactly `hi & 1`.
+            return Some(2 * lo.0 + (hi.0 & 1));
+        }
+        if self.successors(hi).contains(&lo) {
+            return Some(2 * hi.0 + (lo.0 & 1));
+        }
+        None
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(2 * self.num_vertices())
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +169,23 @@ mod tests {
         assert!(!g.neighbors(VertexId(0)).contains(&VertexId(0)));
         let ones = VertexId(0b11111);
         assert!(!g.neighbors(ones).contains(&ones));
+    }
+
+    #[test]
+    fn edge_index_covers_antiparallel_arcs_and_rejects_non_edges() {
+        let g = DeBruijn::new(5);
+        // 01010 and 10101 are mutual successors (antiparallel arcs); the
+        // collapsed undirected edge must still index exactly once.
+        let a = VertexId(0b01010);
+        let b = VertexId(0b10101);
+        assert!(g.successors(a).contains(&b) && g.successors(b).contains(&a));
+        let e = EdgeId::new(a, b);
+        assert_eq!(g.edge_index(e), Some(2 * a.0 + 1));
+        // {0, 3}: 3 is not a successor of 0 (successors are 0 and 1) and 0
+        // is not a successor of 3 (successors are 6 and 7).
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(3))), None);
+        // Out-of-range endpoint.
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(32))), None);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!
 //! The first root `x` is id `0`; the second root `y` is id `2^{n+1} - 1`.
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// Which part of the double tree a vertex belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -287,6 +287,37 @@ impl Topology for DoubleBinaryTree {
     fn canonical_pair(&self) -> (VertexId, VertexId) {
         self.roots()
     }
+
+    /// `2·child + side`, side 0 for a first-tree edge and 1 for a
+    /// second-tree edge, where `child` is the endpoint whose parent *in that
+    /// tree* is the other endpoint. A leaf's two parents live in different
+    /// sides and internal nodes have a parent in their own tree only, so
+    /// exactly one `(child, side)` pair matches per edge; the pair
+    /// reconstructs the edge, making the map injective. The two roots'
+    /// child-slots stay unused.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let (lo, hi) = edge.endpoints();
+        if self.parent_in_first(lo) == Some(hi) {
+            return Some(2 * lo.0);
+        }
+        if self.parent_in_first(hi) == Some(lo) {
+            return Some(2 * hi.0);
+        }
+        if self.parent_in_second(lo) == Some(hi) {
+            return Some(2 * lo.0 + 1);
+        }
+        if self.parent_in_second(hi) == Some(lo) {
+            return Some(2 * hi.0 + 1);
+        }
+        None
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(2 * self.num_vertices())
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +467,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn edge_index_assigns_leaf_edges_to_both_trees() {
+        let tt = DoubleBinaryTree::new(3);
+        let leaf = tt.leaf(2);
+        let first = EdgeId::new(leaf, tt.parent_in_first(leaf).unwrap());
+        let second = EdgeId::new(leaf, tt.parent_in_second(leaf).unwrap());
+        assert_eq!(tt.edge_index(first), Some(2 * leaf.0));
+        assert_eq!(tt.edge_index(second), Some(2 * leaf.0 + 1));
+        // The two roots are not adjacent.
+        let (x, y) = tt.roots();
+        assert_eq!(tt.edge_index(EdgeId::new(x, y)), None);
+        // Mirror vertices (same heap slot, opposite trees) are not adjacent.
+        let internal = tt.children(x).unwrap().0;
+        assert_eq!(
+            tt.edge_index(EdgeId::new(internal, tt.mirror(internal))),
+            None
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! hand-crafted counter-examples, and as the escape hatch for user-supplied
 //! topologies.
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// A graph stored as adjacency lists.
 ///
@@ -24,6 +24,8 @@ use crate::{Topology, VertexId};
 pub struct ExplicitGraph {
     adjacency: Vec<Vec<VertexId>>,
     num_edges: u64,
+    /// Cached so `edge_index_bound` / `max_degree` need no O(V) scan.
+    max_degree: usize,
     label: String,
 }
 
@@ -33,6 +35,7 @@ impl ExplicitGraph {
         ExplicitGraph {
             adjacency: vec![Vec::new(); n as usize],
             num_edges: 0,
+            max_degree: 0,
             label: format!("explicit(n={n})"),
         }
     }
@@ -79,6 +82,10 @@ impl ExplicitGraph {
         }
         self.adjacency[a.0 as usize].push(b);
         self.adjacency[b.0 as usize].push(a);
+        self.max_degree = self
+            .max_degree
+            .max(self.adjacency[a.0 as usize].len())
+            .max(self.adjacency[b.0 as usize].len());
         self.num_edges += 1;
         true
     }
@@ -103,8 +110,37 @@ impl Topology for ExplicitGraph {
         self.adjacency[v.0 as usize].clone()
     }
 
+    fn degree(&self, v: VertexId) -> usize {
+        assert!(self.contains(v), "vertex {v} out of range");
+        self.adjacency[v.0 as usize].len()
+    }
+
+    fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
     fn name(&self) -> String {
         self.label.clone()
+    }
+
+    /// `lo·Δ + slot`, where Δ is the current maximum degree and `slot` is
+    /// the position of `hi` in `lo`'s adjacency list. Indices are a pure
+    /// function of the graph's current edge set (later `add_edge` calls may
+    /// re-shape the space — rebuild any materialised sample after mutating).
+    /// Each query scans one adjacency list (O(Δ)), which keeps the escape
+    /// hatch on the bitset path without maintaining an extra map.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let slot = self.adjacency[edge.lo().0 as usize]
+            .iter()
+            .position(|w| *w == edge.hi())?;
+        Some(edge.lo().0 * self.max_degree as u64 + slot as u64)
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(self.num_vertices() * self.max_degree as u64)
     }
 }
 
@@ -151,6 +187,25 @@ mod tests {
         let g = ExplicitGraph::from_topology(&mesh);
         assert_eq!(g.num_edges(), mesh.num_edges());
         check_topology_invariants(&g);
+    }
+
+    #[test]
+    fn edge_index_uses_adjacency_slots() {
+        let mut g = ExplicitGraph::from_edges(5, [(0, 1), (1, 2), (2, 0)]);
+        g.add_edge(VertexId(2), VertexId(3));
+        g.add_edge(VertexId(2), VertexId(4));
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.edge_index_bound(), Some(5 * 4));
+        // {0, 1}: slot 0 of vertex 0.
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(1))), Some(0));
+        // {2, 4}: vertex 2's adjacency is [1, 0, 3, 4], so slot 3.
+        assert_eq!(
+            g.edge_index(EdgeId::new(VertexId(2), VertexId(4))),
+            Some(2 * 4 + 3)
+        );
+        // Non-edge and out-of-range pairs are rejected.
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(3))), None);
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(9))), None);
     }
 
     #[test]

@@ -299,6 +299,17 @@ pub trait Topology {
     }
 }
 
+/// SplitMix64 step: advances `state` and returns the next pseudo-random
+/// 64-bit value. The one deterministic generator shared by the crate's
+/// sampling sites (random matchings, sampled conformance checks).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Checks the structural invariants shared by every [`Topology`]
 /// implementation; used by unit and property tests across the workspace.
 ///
@@ -382,6 +393,132 @@ pub fn check_topology_invariants<T: Topology>(graph: &T) {
             }
         }
     }
+}
+
+/// Checks the closed-form edge-index contract that dense edge-state stores
+/// (most importantly `faultnet-percolation`'s `BitsetSample`) rely on.
+///
+/// Unlike [`check_topology_invariants`] — which tolerates families without a
+/// closed form — this checker *requires* one and verifies the full contract:
+///
+/// 1. [`Topology::edge_index_bound`] is `Some` (the family declares a
+///    closed form).
+/// 2. Every edge reported by [`Topology::edges`] maps to `Some` index that is
+///    strictly below the bound, and no two edges share an index
+///    (injectivity).
+/// 3. The number of indexed edges equals [`Topology::num_edges`]
+///    (enumeration agreement).
+/// 4. Non-edges map to `None`: every non-adjacent vertex pair (exhaustively
+///    for small graphs, a deterministic sample beyond that) and pairs with an
+///    out-of-range endpoint are rejected, while adjacent pairs reproduce the
+///    index recorded during enumeration.
+///
+/// # Panics
+///
+/// Panics (with a descriptive message) if any part of the contract is
+/// violated. Intended for test code; exercised per family by
+/// [`edge_index_conformance_suite!`].
+pub fn check_edge_index_contract<T: Topology>(graph: &T) {
+    let name = graph.name();
+    let bound = graph.edge_index_bound().unwrap_or_else(|| {
+        panic!("{name}: edge_index_bound() is None — no closed-form edge index")
+    });
+    // 1–3: injectivity, bound validity, and enumeration agreement.
+    let mut index_of = std::collections::HashMap::new();
+    for e in graph.edges() {
+        let index = graph
+            .edge_index(e)
+            .unwrap_or_else(|| panic!("{name}: edge {e} of the fault-free graph has no index"));
+        assert!(
+            index < bound,
+            "{name}: index {index} of {e} is not below the bound {bound}"
+        );
+        if let Some(prev) = index_of.insert(index, e) {
+            panic!("{name}: edges {prev} and {e} collide at index {index}");
+        }
+    }
+    assert_eq!(
+        index_of.len() as u64,
+        graph.num_edges(),
+        "{name}: indexed edge count disagrees with num_edges()"
+    );
+    let index_of_edge: std::collections::HashMap<EdgeId, u64> =
+        index_of.into_iter().map(|(i, e)| (e, i)).collect();
+    // 4a: vertex pairs — adjacent pairs reproduce the enumerated index,
+    // non-adjacent pairs are rejected. Exhaustive up to 256 vertices
+    // (≤ ~32k pairs); a deterministic SplitMix64 sample of pairs beyond.
+    let n = graph.num_vertices();
+    let check_pair = |u: VertexId, v: VertexId| {
+        let e = EdgeId::new(u, v);
+        match graph.edge_index(e) {
+            Some(index) => {
+                assert_eq!(
+                    Some(&index),
+                    index_of_edge.get(&e),
+                    "{name}: {e} indexes to {index} but edges() enumeration disagrees"
+                );
+            }
+            None => assert!(
+                !index_of_edge.contains_key(&e),
+                "{name}: enumerated edge {e} is rejected by edge_index()"
+            ),
+        }
+    };
+    if n <= 256 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                check_pair(VertexId(u), VertexId(v));
+            }
+        }
+    } else {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..20_000 {
+            let u = splitmix64(&mut state) % n;
+            let v = splitmix64(&mut state) % n;
+            if u != v {
+                check_pair(VertexId(u.min(v)), VertexId(u.max(v)));
+            }
+        }
+        // The sample above rarely hits edges; also re-check every edge's
+        // incident pairs so the Some side is exercised on large graphs.
+        for e in graph.edges() {
+            check_pair(e.lo(), e.hi());
+        }
+    }
+    // 4b: out-of-range endpoints never index.
+    for delta in 0..3 {
+        let e = EdgeId::new(VertexId(0), VertexId(n + delta));
+        assert_eq!(
+            graph.edge_index(e),
+            None,
+            "{name}: out-of-range pair {e} received an index"
+        );
+    }
+}
+
+/// Generates one `#[test]` per listed family instance, running both
+/// [`check_topology_invariants`] and [`check_edge_index_contract`] on it —
+/// the shared conformance suite every built-in (and future) family with a
+/// closed-form edge index must pass.
+///
+/// ```
+/// faultnet_topology::edge_index_conformance_suite! {
+///     hypercube_n4 => faultnet_topology::hypercube::Hypercube::new(4);
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! edge_index_conformance_suite {
+    ($($test_name:ident => $graph:expr;)+) => {
+        $(
+            #[test]
+            fn $test_name() {
+                let graph = $graph;
+                $crate::check_topology_invariants(&graph);
+                $crate::check_edge_index_contract(&graph);
+            }
+        )+
+    };
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! *shuffle* edges to the left and right cyclic rotations of `x`. One of the
 //! constant-degree families named in the paper's open questions (§6).
 
-use crate::{Topology, VertexId};
+use crate::{EdgeId, Topology, VertexId};
 
 /// The shuffle-exchange graph over binary strings of length `n`
 /// (maximum degree 3).
@@ -105,6 +105,35 @@ impl Topology for ShuffleExchange {
     fn canonical_pair(&self) -> (VertexId, VertexId) {
         (VertexId(0), VertexId(self.mask()))
     }
+
+    /// `3·lo + slot`, slot 0 for the exchange edge (`hi = lo ^ 1`), slot 1
+    /// for the left-rotation shuffle edge, slot 2 for the right-rotation
+    /// one. An exchange edge is never also a shuffle edge (a rotation that
+    /// only flips bit 0 would force all bits equal *and* the wrapped bit
+    /// flipped), and when both rotations of `lo` coincide the edge
+    /// deterministically takes slot 1, so an index names exactly one edge.
+    fn edge_index(&self, edge: EdgeId) -> Option<u64> {
+        if !self.contains(edge.hi()) {
+            return None;
+        }
+        let (lo, hi) = edge.endpoints();
+        if lo.0 ^ hi.0 == 1 {
+            return Some(3 * lo.0);
+        }
+        // `hi = shuffle_right(lo)` covers the arcs written from the other
+        // endpoint: `lo = shuffle_left(hi)` is the same relation.
+        if hi == self.shuffle_left(lo) {
+            return Some(3 * lo.0 + 1);
+        }
+        if hi == self.shuffle_right(lo) {
+            return Some(3 * lo.0 + 2);
+        }
+        None
+    }
+
+    fn edge_index_bound(&self) -> Option<u64> {
+        Some(3 * self.num_vertices())
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +173,23 @@ mod tests {
             assert!(g.degree(v) <= 3);
             assert!(g.degree(v) >= 1);
         }
+    }
+
+    #[test]
+    fn edge_index_separates_exchange_and_shuffle_edges() {
+        let g = ShuffleExchange::new(5);
+        let v = VertexId(0b01100);
+        let exchange = EdgeId::new(v, g.exchange(v));
+        let shuffle = EdgeId::new(v, g.shuffle_left(v));
+        let (ei, si) = (
+            g.edge_index(exchange).unwrap(),
+            g.edge_index(shuffle).unwrap(),
+        );
+        assert_ne!(ei, si);
+        assert_eq!(ei % 3, 0);
+        // {v, v ^ 2} is neither an exchange nor a rotation of v.
+        assert_eq!(g.edge_index(EdgeId::new(v, VertexId(v.0 ^ 2))), None);
+        assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(32))), None);
     }
 
     #[test]

@@ -7,7 +7,40 @@ use faultnet::experiments::{
     hypercube_lower_bound::HypercubeLowerBoundExperiment,
     hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
     mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment,
+    suite::run_all_reports, Effort,
 };
+
+/// The determinism contract of `run_all --quick`: the full rendered output
+/// (plain text and Markdown) is byte-identical across `--threads 1/2/4`.
+/// Previously only documented in docs/EXPERIMENTS.md; now enforced here.
+#[test]
+fn run_all_quick_output_is_byte_identical_across_thread_counts() {
+    let render_suite = |threads: usize| -> (String, String) {
+        let reports = run_all_reports(Effort::Quick, threads);
+        let text: String = reports
+            .iter()
+            .map(|r| r.render())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let markdown: String = reports
+            .iter()
+            .map(|r| r.render_markdown())
+            .collect::<Vec<_>>()
+            .join("\n");
+        (text, markdown)
+    };
+    let baseline = render_suite(1);
+    assert_eq!(
+        baseline,
+        render_suite(2),
+        "threads=2 diverged from threads=1"
+    );
+    assert_eq!(
+        baseline,
+        render_suite(4),
+        "threads=4 diverged from threads=1"
+    );
+}
 
 #[test]
 fn hypercube_transition_report() {
