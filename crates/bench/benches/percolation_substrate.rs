@@ -76,6 +76,50 @@ fn bench_is_open_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the fault-model overlays relative to the raw substrates: lazy
+/// Bernoulli hashing vs the materialised bitset vs the node-mask overlay of
+/// the node-fault model (each `is_open` adds two mask bit reads before the
+/// substrate answer), plus the per-instance build costs. Tracks the
+/// node-fault overlay's overhead so a regression in the mask path shows up
+/// in the same group as the substrate numbers it must be compared to.
+fn bench_fault_model_overlays(c: &mut Criterion) {
+    use faultnet_faultmodel::{BernoulliNodes, FaultModel};
+    let mut group = c.benchmark_group("percolation/fault_model_overlays");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let cube = Hypercube::new(12);
+    let cfg = PercolationConfig::new(0.5, 3);
+    let sampler = cfg.sampler();
+    let bitset = BitsetSample::from_states(&cube, &sampler);
+    let node_model = BernoulliNodes::new();
+    let node_instance = node_model.instance(&cube, cfg, None);
+    let node_bitset = BitsetSample::from_states(&cube, &node_instance);
+    let edges = cube.edges();
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("lazy_hash_per_query", |b| {
+        b.iter(|| edges.iter().filter(|e| sampler.is_open(**e)).count())
+    });
+    group.bench_function("bitset_bit_read", |b| {
+        b.iter(|| edges.iter().filter(|e| bitset.is_open(**e)).count())
+    });
+    group.bench_function("node_mask_overlay", |b| {
+        b.iter(|| edges.iter().filter(|e| node_instance.is_open(**e)).count())
+    });
+    group.bench_function("node_mask_materialised_bit_read", |b| {
+        b.iter(|| edges.iter().filter(|e| node_bitset.is_open(**e)).count())
+    });
+    group.bench_function("node_instance_build", |b| {
+        b.iter(|| {
+            node_model
+                .instance(&cube, cfg, None)
+                .dead_nodes()
+                .map(|m| m.dead_count())
+        })
+    });
+    group.finish();
+}
+
 /// Sequential vs parallel conditioned-trial measurement on one harness
 /// configuration. The two paths produce bit-identical `ComplexityStats`;
 /// only wall-clock differs (on multi-core machines).
@@ -149,6 +193,7 @@ criterion_group!(
     benches,
     bench_sampler,
     bench_is_open_backends,
+    bench_fault_model_overlays,
     bench_harness_parallelism,
     bench_component_census,
     bench_thresholds_and_stretch

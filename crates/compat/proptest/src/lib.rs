@@ -144,6 +144,16 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+),
+            l,
+            r
+        );
+    }};
 }
 
 /// Like `assert_ne!` for [`proptest!`] bodies.
@@ -156,6 +166,15 @@ macro_rules! prop_assert_ne {
             "assertion failed: `{} != {}`\n  both: {:?}",
             stringify!($left),
             stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+),
             l
         );
     }};

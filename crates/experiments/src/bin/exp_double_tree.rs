@@ -11,6 +11,7 @@ use faultnet_experiments::double_tree::DoubleTreeExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.warn_fault_model_ignored("exp_double_tree");
     let experiment = DoubleTreeExperiment::with_effort(args.effort).with_threads(args.threads);
     args.print(&experiment.run());
 }

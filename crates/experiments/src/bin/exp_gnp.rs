@@ -11,6 +11,7 @@ use faultnet_experiments::gnp::GnpExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.warn_fault_model_ignored("exp_gnp");
     let experiment = GnpExperiment::with_effort(args.effort).with_threads(args.threads);
     args.print(&experiment.run());
 }

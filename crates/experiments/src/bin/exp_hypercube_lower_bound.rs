@@ -11,6 +11,7 @@ use faultnet_experiments::hypercube_lower_bound::HypercubeLowerBoundExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.warn_fault_model_ignored("exp_hypercube_lower_bound");
     let experiment =
         HypercubeLowerBoundExperiment::with_effort(args.effort).with_threads(args.threads);
     args.print(&experiment.run());

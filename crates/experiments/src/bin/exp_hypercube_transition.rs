@@ -11,6 +11,7 @@ use faultnet_experiments::hypercube_transition::HypercubeTransitionExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.warn_fault_model_ignored("exp_hypercube_transition");
     let experiment =
         HypercubeTransitionExperiment::with_effort(args.effort).with_threads(args.threads);
     args.print(&experiment.run());

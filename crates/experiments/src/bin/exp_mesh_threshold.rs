@@ -11,6 +11,7 @@ use faultnet_experiments::mesh_threshold::MeshThresholdExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.warn_fault_model_ignored("exp_mesh_threshold");
     let experiment = MeshThresholdExperiment::with_effort(args.effort).with_threads(args.threads);
     args.print(&experiment.run());
 }

@@ -11,6 +11,7 @@ use faultnet_experiments::open_questions::OpenQuestionsExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.warn_fault_model_ignored("exp_open_questions");
     let experiment = OpenQuestionsExperiment::with_effort(args.effort).with_threads(args.threads);
     args.print(&experiment.run());
 }

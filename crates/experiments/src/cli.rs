@@ -1,6 +1,6 @@
 //! Shared command-line handling for the experiment binaries.
 //!
-//! Every `exp_*` binary (and `run_all`) accepts the same three flags:
+//! Every `exp_*` binary (and `run_all`) accepts the same flags:
 //!
 //! * `--quick` — run the reduced configuration (seconds) instead of the
 //!   `full()` grids recorded in `docs/EXPERIMENTS.md`.
@@ -10,6 +10,15 @@
 //!   results in deterministic order, the emitted tables are identical for
 //!   every thread count — the knob only changes wall-clock time.
 //! * `--markdown` — render the report as Markdown instead of plain text.
+//! * `--fault-model NAME` (or `--fault-model=NAME`) — select one named
+//!   fault model (`bernoulli-edges`, `bernoulli-nodes`,
+//!   `correlated-regions`, `adversarial-budget`). Consumed by
+//!   `exp_fault_models` (absent = all models side by side); the E1–E10
+//!   reproduction binaries always measure the paper's Bernoulli edge
+//!   faults and warn on stderr if the flag is passed
+//!   ([`ExpArgs::warn_fault_model_ignored`]).
+
+use faultnet_faultmodel::FaultModelSpec;
 
 use crate::report::Effort;
 
@@ -30,6 +39,12 @@ use crate::report::Effort;
 /// assert_eq!(args.effort, Effort::Full);
 /// assert_eq!(args.threads, 2);
 /// assert!(args.markdown);
+///
+/// let args = ExpArgs::parse(["--fault-model", "bernoulli-nodes"].map(String::from));
+/// assert_eq!(
+///     args.fault_model,
+///     Some(faultnet_faultmodel::FaultModelSpec::BernoulliNodes)
+/// );
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpArgs {
@@ -40,6 +55,10 @@ pub struct ExpArgs {
     pub threads: usize,
     /// Whether `--markdown` was passed.
     pub markdown: bool,
+    /// The fault model selected with `--fault-model`, if any. `None` means
+    /// the binary's default (Bernoulli edge faults for the paper
+    /// reproductions; every model side by side for `exp_fault_models`).
+    pub fault_model: Option<FaultModelSpec>,
 }
 
 impl ExpArgs {
@@ -50,6 +69,11 @@ impl ExpArgs {
         let mut effort = Effort::Full;
         let mut markdown = false;
         let mut threads: usize = 0;
+        let mut fault_model = None;
+        let mut parse_model = |value: &str| match FaultModelSpec::parse(value) {
+            Ok(spec) => fault_model = Some(spec),
+            Err(message) => eprintln!("{message}; using the default"),
+        };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -67,12 +91,28 @@ impl ExpArgs {
                         None => eprintln!("--threads expects a number; using auto"),
                     }
                 }
+                "--fault-model" => {
+                    // Same lookahead rule as --threads: consume the next
+                    // token as the value unless it is itself a flag, so a
+                    // misspelled model name warns exactly once and a
+                    // valueless `--fault-model --markdown` does not swallow
+                    // the next flag.
+                    match args.get(i + 1).map(String::as_str) {
+                        Some(value) if !value.starts_with("--") => {
+                            parse_model(value);
+                            i += 1;
+                        }
+                        other => parse_model(other.unwrap_or("<missing>")),
+                    }
+                }
                 other => {
                     if let Some(value) = other.strip_prefix("--threads=") {
                         threads = value.parse().unwrap_or_else(|_| {
                             eprintln!("--threads expects a number; using auto");
                             0
                         });
+                    } else if let Some(value) = other.strip_prefix("--fault-model=") {
+                        parse_model(value);
                     } else {
                         eprintln!("ignoring unknown argument {other:?}");
                     }
@@ -84,6 +124,7 @@ impl ExpArgs {
             effort,
             threads: resolve_threads(threads),
             markdown,
+            fault_model,
         }
     }
 
@@ -99,6 +140,20 @@ impl ExpArgs {
             println!("{}", report.render_markdown());
         } else {
             println!("{}", report.render());
+        }
+    }
+
+    /// Warns on stderr when `--fault-model` was passed to a binary that does
+    /// not consume it. The E1–E10 reproduction binaries (and `run_all`)
+    /// always measure the configuration their experiment defines —
+    /// silently accepting the flag would let a user believe they measured
+    /// node faults when they measured the paper's model.
+    pub fn warn_fault_model_ignored(&self, binary: &str) {
+        if let Some(spec) = self.fault_model {
+            eprintln!(
+                "--fault-model {spec} is ignored by {binary}; \
+                 use exp_fault_models to measure under other fault models"
+            );
         }
     }
 }
@@ -154,6 +209,23 @@ mod tests {
         ]);
         assert_eq!(args.effort, Effort::Quick);
         assert!(args.threads >= 1);
+    }
+
+    #[test]
+    fn fault_model_flag_forms_and_errors() {
+        let args = ExpArgs::parse(vec!["--fault-model".into(), "adversarial-budget".into()]);
+        assert_eq!(args.fault_model, Some(FaultModelSpec::AdversarialBudget));
+        let args = ExpArgs::parse(vec!["--fault-model=correlated-regions".into()]);
+        assert_eq!(args.fault_model, Some(FaultModelSpec::CorrelatedRegions));
+        // Unknown names warn and fall back to the default.
+        let args = ExpArgs::parse(vec!["--fault-model".into(), "martian-rays".into()]);
+        assert_eq!(args.fault_model, None);
+        // A valueless flag must not swallow the next flag.
+        let args = ExpArgs::parse(vec!["--fault-model".into(), "--markdown".into()]);
+        assert_eq!(args.fault_model, None);
+        assert!(args.markdown);
+        let args = ExpArgs::parse(Vec::new());
+        assert_eq!(args.fault_model, None);
     }
 
     #[test]

@@ -37,10 +37,38 @@ pub fn measure_hypercube_point(
     base_seed: u64,
     threads: usize,
 ) -> HypercubePoint {
+    measure_hypercube_point_with_model(
+        &faultnet_faultmodel::BernoulliEdges::new(),
+        dimension,
+        p,
+        trials,
+        base_seed,
+        threads,
+    )
+}
+
+/// Like [`measure_hypercube_point`], but drawing each instance from an
+/// arbitrary [`faultnet_faultmodel::FaultModel`] (the Bernoulli-edge model
+/// reproduces the original numbers exactly; the fault-model property tests
+/// assert the materialised bitsets are bit-identical).
+///
+/// Dead vertices under node-fault models still count toward the giant
+/// *fraction*'s denominator (they are isolated components), so a node model
+/// at survival `p` caps the giant fraction near `p` — exactly the effect
+/// `exp_fault_models` tabulates side by side.
+pub fn measure_hypercube_point_with_model<M: faultnet_faultmodel::FaultModel + Sync + ?Sized>(
+    model: &M,
+    dimension: u32,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+    threads: usize,
+) -> HypercubePoint {
     let cube = Hypercube::new(dimension);
     let per_trial = Sweep::over(0..trials).run_parallel(threads.max(1), |&t| {
         let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
-        let sample = BitsetSample::from_config(&cube, &cfg);
+        let instance = model.instance(&cube, cfg, None);
+        let sample = BitsetSample::from_states(&cube, &instance);
         let census = ComponentCensus::compute(&cube, &sample);
         (census.giant_fraction(), census.num_components() == 1)
     });

@@ -18,6 +18,7 @@
 //! | E8 | background thresholds (hypercube giant/connectivity, mesh `p_c`) | [`hypercube_giant`], [`mesh_threshold`] |
 //! | E9 | §6 open questions — constant-degree families | [`open_questions`] |
 //! | E10 | design-choice ablations | [`ablation`] |
+//! | E11 | fault-model scenarios — E4/E8a grids under node, correlated, and adversarial faults | [`fault_models`] |
 //!
 //! Each module exposes an experiment struct with `quick()` (seconds; used by
 //! tests and Criterion benches) and `full()` (minutes; used by the `exp-*`
@@ -33,6 +34,7 @@ pub mod ablation;
 pub mod chemical_distance;
 pub mod cli;
 pub mod double_tree;
+pub mod fault_models;
 pub mod gnp;
 pub mod hypercube_giant;
 pub mod hypercube_lower_bound;

@@ -38,8 +38,10 @@ pub struct MeshPoint {
 }
 
 /// Builds the mesh and pair used for a distance-`distance` measurement: a
-/// `d`-dimensional mesh with a small margin around a straight pair.
-fn mesh_and_pair(
+/// `d`-dimensional mesh with a small margin around a straight pair. Shared
+/// with the fault-model experiment so every model is measured on the exact
+/// grid geometry of E4.
+pub(crate) fn mesh_and_pair(
     dimension: u32,
     distance: u64,
 ) -> (

@@ -1,13 +1,21 @@
-//! The full experiment suite in canonical order — what `run_all` executes.
+//! The experiment registry — the single source of truth for what `run_all`
+//! executes.
 //!
 //! Kept as a library function so the `run_all` binary and the end-to-end
 //! regression tests run the exact same sequence: the tests assert that the
 //! rendered output is byte-identical across `--threads` values, which is the
 //! determinism contract the parallel harness promises.
+//!
+//! Every experiment registers itself exactly once, in [`registry`]; `run_all`
+//! (and anything else that wants "every experiment") enumerates the registry
+//! instead of maintaining a second hand-written list, so a newly registered
+//! experiment is automatically picked up by `run_all_reports`, the
+//! byte-identity regression test, and the docs listing. The registry's
+//! uniqueness invariants are themselves tested.
 
 use crate::{
     ablation::AblationExperiment, chemical_distance::ChemicalDistanceExperiment,
-    double_tree::DoubleTreeExperiment, gnp::GnpExperiment,
+    double_tree::DoubleTreeExperiment, fault_models::FaultModelsExperiment, gnp::GnpExperiment,
     hypercube_giant::HypercubeGiantExperiment,
     hypercube_lower_bound::HypercubeLowerBoundExperiment,
     hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
@@ -15,42 +23,88 @@ use crate::{
     ExperimentReport,
 };
 
-/// Runs every experiment at the given effort across `threads` workers, in
-/// the canonical E1→E10 order, and returns the reports.
+/// One registered experiment: its identity plus a uniform way to run it at
+/// any effort/thread configuration.
+pub struct RegisteredExperiment {
+    /// Experiment id in the paper-mapping scheme (`"E4"`, `"E8a"`, …).
+    pub id: &'static str,
+    /// Name of the dedicated binary (`"exp_mesh_routing"`, …).
+    pub binary: &'static str,
+    /// One-line description (paper result or scenario).
+    pub title: &'static str,
+    run: fn(Effort, usize) -> ExperimentReport,
+}
+
+impl RegisteredExperiment {
+    /// Runs the experiment at the given effort across `threads` workers.
+    pub fn run(&self, effort: Effort, threads: usize) -> ExperimentReport {
+        (self.run)(effort, threads)
+    }
+}
+
+/// Every experiment, in canonical E1→E11 order. The one list to extend when
+/// adding an experiment; `run_all` and the end-to-end tests derive from it.
+pub fn registry() -> Vec<RegisteredExperiment> {
+    // A macro keeps each entry to one line and guarantees every experiment
+    // is wired through the same with_effort/with_threads/run protocol.
+    macro_rules! experiments {
+        ($($id:literal, $binary:literal, $title:literal => $ty:ty;)+) => {
+            vec![$(RegisteredExperiment {
+                id: $id,
+                binary: $binary,
+                title: $title,
+                run: |effort, threads| {
+                    <$ty>::with_effort(effort).with_threads(threads).run()
+                },
+            }),+]
+        };
+    }
+    experiments! {
+        "E1/E3", "exp_hypercube_transition", "Theorem 3 — hypercube routing phase transition" => HypercubeTransitionExperiment;
+        "E2", "exp_hypercube_lower_bound", "Lemma 5 — cut lower bound vs. measured cost" => HypercubeLowerBoundExperiment;
+        "E4", "exp_mesh_routing", "Theorem 4 — O(n) mesh routing above p_c" => MeshRoutingExperiment;
+        "E5", "exp_chemical_distance", "Lemma 8 — chemical distance is linear above p_c" => ChemicalDistanceExperiment;
+        "E6", "exp_double_tree", "Lemma 6 + Theorems 7, 9 — double tree local vs. oracle" => DoubleTreeExperiment;
+        "E7", "exp_gnp", "Theorems 10, 11 — G(n,p) local n² vs. oracle n^{3/2}" => GnpExperiment;
+        "E8a", "exp_hypercube_giant", "§1.2 — hypercube giant/connectivity thresholds" => HypercubeGiantExperiment;
+        "E8b", "exp_mesh_threshold", "§1.2 — mesh percolation threshold" => MeshThresholdExperiment;
+        "E9", "exp_open_questions", "§6 open questions — constant-degree families" => OpenQuestionsExperiment;
+        "E10", "exp_ablation", "design-choice ablations" => AblationExperiment;
+        "E11", "exp_fault_models", "fault-model scenario matrix (node/correlated/adversarial)" => FaultModelsExperiment;
+    }
+}
+
+/// Runs every registered experiment at the given effort across `threads`
+/// workers, in registry order, and returns the reports.
 ///
 /// The reported numbers are a pure function of `effort` (each experiment
 /// bakes in its base seed); `threads` only changes wall-clock time.
 pub fn run_all_reports(effort: Effort, threads: usize) -> Vec<ExperimentReport> {
-    vec![
-        HypercubeTransitionExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        HypercubeLowerBoundExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        MeshRoutingExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        ChemicalDistanceExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        DoubleTreeExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        GnpExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        HypercubeGiantExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        MeshThresholdExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        OpenQuestionsExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-        AblationExperiment::with_effort(effort)
-            .with_threads(threads)
-            .run(),
-    ]
+    registry()
+        .iter()
+        .map(|experiment| experiment.run(effort, threads))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_ids_and_binaries_are_unique() {
+        let experiments = registry();
+        let ids: HashSet<_> = experiments.iter().map(|e| e.id).collect();
+        let binaries: HashSet<_> = experiments.iter().map(|e| e.binary).collect();
+        assert_eq!(ids.len(), experiments.len(), "duplicate experiment id");
+        assert_eq!(binaries.len(), experiments.len(), "duplicate binary name");
+    }
+
+    #[test]
+    fn fault_models_experiment_is_registered() {
+        assert!(
+            registry().iter().any(|e| e.binary == "exp_fault_models"),
+            "exp_fault_models missing from the registry — run_all would skip it"
+        );
+    }
 }

@@ -1,0 +1,176 @@
+//! Independent (Bernoulli) fault models: the paper's edge faults and their
+//! node-fault dual.
+
+use faultnet_percolation::PercolationConfig;
+use faultnet_topology::{Topology, VertexId};
+
+use crate::{mix64, FaultInstance, FaultModel, NodeMask};
+
+/// The paper's fault model: every edge survives independently with
+/// probability `p`.
+///
+/// Delegates to the existing lazy [`faultnet_percolation::EdgeSampler`] —
+/// the *same* pure `(seed, edge)` function the whole workspace already
+/// measures with — so routing through this model reproduces every recorded
+/// number exactly, and materialising the instance with
+/// `BitsetSample::from_states` takes the same closed-form `edge_index`
+/// bitset path as `BitsetSample::from_config` (bit-identical words;
+/// property-tested across the family zoo).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BernoulliEdges;
+
+impl BernoulliEdges {
+    /// Creates the model.
+    pub fn new() -> Self {
+        BernoulliEdges
+    }
+}
+
+impl FaultModel for BernoulliEdges {
+    fn name(&self) -> String {
+        "bernoulli-edges".to_string()
+    }
+
+    fn instance(
+        &self,
+        _graph: &dyn Topology,
+        config: PercolationConfig,
+        _pair: Option<(VertexId, VertexId)>,
+    ) -> FaultInstance {
+        FaultInstance::from_sampler(config.sampler())
+    }
+}
+
+/// Salt decorrelating the node-survival stream from the edge-sampler stream
+/// of the same seed.
+const NODE_STREAM_SALT: u64 = 0xA5A5_5A5A_C3C3_3C3C;
+
+/// The uniform variate in `[0, 1)` attached to vertex `v` under `seed`; the
+/// vertex survives iff this value is `< p`. Exposed for the same reason as
+/// `EdgeSampler::uniform`: monotone-coupling arguments (raise `p`, keep the
+/// seed) can be tested directly.
+pub fn node_uniform(seed: u64, v: VertexId) -> f64 {
+    let mixed = mix64(mix64(v.0 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ NODE_STREAM_SALT);
+    (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Independent *node* faults: every vertex survives with probability `p`
+/// (the model's `config.p()`), independently of all other vertices; a failed
+/// vertex kills all of its incident edges. Edges between two surviving
+/// vertices are fault-free.
+///
+/// This is the router-failure model of mesh/NoC fault studies (Safaei &
+/// ValadBeigi, arXiv:1301.5993): faults live on the switching elements, not
+/// the links. Note that under Definition 2's conditioning the routed pair
+/// itself must survive for a trial to count — instances where `u` or `v`
+/// died fail the `{u ∼ v}` event and are discarded, so connectivity rates
+/// under this model carry an extra `p²` factor relative to edge faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BernoulliNodes;
+
+impl BernoulliNodes {
+    /// Creates the model.
+    pub fn new() -> Self {
+        BernoulliNodes
+    }
+}
+
+impl FaultModel for BernoulliNodes {
+    fn name(&self) -> String {
+        "bernoulli-nodes".to_string()
+    }
+
+    fn instance(
+        &self,
+        graph: &dyn Topology,
+        config: PercolationConfig,
+        _pair: Option<(VertexId, VertexId)>,
+    ) -> FaultInstance {
+        let mut mask = NodeMask::all_alive(graph.num_vertices());
+        for v in graph.vertices() {
+            if node_uniform(config.seed(), v) >= config.p() {
+                mask.kill(v);
+            }
+        }
+        // Edges themselves are fault-free; only dead endpoints close them.
+        FaultInstance::from_sampler(config.with_p(1.0).sampler()).with_dead_nodes(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultnet_percolation::sample::EdgeStates;
+    use faultnet_topology::hypercube::Hypercube;
+    use faultnet_topology::EdgeId;
+
+    #[test]
+    fn bernoulli_edges_matches_the_lazy_sampler() {
+        let cube = Hypercube::new(6);
+        let cfg = PercolationConfig::new(0.37, 99);
+        let instance = BernoulliEdges::new().instance(&cube, cfg, None);
+        let sampler = cfg.sampler();
+        for e in cube.edges() {
+            assert_eq!(instance.is_open(e), sampler.is_open(e));
+        }
+        assert_eq!(BernoulliEdges::new().name(), "bernoulli-edges");
+    }
+
+    #[test]
+    fn node_faults_kill_every_incident_edge() {
+        let cube = Hypercube::new(7);
+        let cfg = PercolationConfig::new(0.6, 5);
+        let instance = BernoulliNodes::new().instance(&cube, cfg, None);
+        let mask = instance.dead_nodes().expect("node model carries a mask");
+        for v in cube.vertices() {
+            let dead = node_uniform(cfg.seed(), v) >= cfg.p();
+            assert_eq!(mask.is_dead(v), dead);
+            if dead {
+                for e in cube.incident_edges(v) {
+                    assert!(!instance.is_open(e), "edge {e} of dead {v} is open");
+                }
+            }
+        }
+        // Edges between two survivors are fault-free under this model.
+        for e in cube.edges() {
+            if !mask.is_dead(e.lo()) && !mask.is_dead(e.hi()) {
+                assert!(instance.is_open(e));
+            }
+        }
+    }
+
+    #[test]
+    fn node_survival_frequency_tracks_p() {
+        let p = 0.7;
+        let trials = 20_000u64;
+        let alive = (0..trials)
+            .filter(|&v| node_uniform(77, VertexId(v)) < p)
+            .count() as f64;
+        let freq = alive / trials as f64;
+        assert!((freq - p).abs() < 0.02, "frequency {freq} too far from {p}");
+    }
+
+    #[test]
+    fn node_stream_is_monotone_in_p_and_decorrelated_from_edges() {
+        // Monotone coupling: every vertex alive at p=0.3 is alive at p=0.6.
+        let cube = Hypercube::new(8);
+        let lo = BernoulliNodes::new().instance(&cube, PercolationConfig::new(0.3, 11), None);
+        let hi = BernoulliNodes::new().instance(&cube, PercolationConfig::new(0.6, 11), None);
+        let (lo_mask, hi_mask) = (lo.dead_nodes().unwrap(), hi.dead_nodes().unwrap());
+        for v in cube.vertices() {
+            if !lo_mask.is_dead(v) {
+                assert!(!hi_mask.is_dead(v), "{v} died when p rose");
+            }
+        }
+        // Decorrelation: the node stream must not mirror the edge stream.
+        let sampler = PercolationConfig::new(0.5, 11).sampler();
+        let disagreements = (0..1000u64)
+            .filter(|&i| {
+                let node_open = node_uniform(11, VertexId(i)) < 0.5;
+                let edge_open = sampler.is_open(EdgeId::new(VertexId(i), VertexId(i + 1)));
+                node_open != edge_open
+            })
+            .count();
+        assert!(disagreements > 300, "only {disagreements} disagreements");
+    }
+}

@@ -1,0 +1,126 @@
+//! Named fault-model specifications — the `--fault-model` vocabulary.
+
+use std::fmt;
+
+use crate::{AdversarialBudget, BernoulliEdges, BernoulliNodes, CorrelatedRegions, FaultModel};
+
+/// A named, default-parameterised fault model — what the shared
+/// `--fault-model` flag of the experiment binaries selects.
+///
+/// The spec layer exists so the CLI, the `exp_fault_models` grids, and the
+/// docs all speak one vocabulary; code that needs non-default shape
+/// parameters constructs the model structs directly.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_faultmodel::FaultModelSpec;
+///
+/// let spec = FaultModelSpec::parse("bernoulli-nodes").unwrap();
+/// assert_eq!(spec.cli_name(), "bernoulli-nodes");
+/// assert_eq!(FaultModelSpec::ALL.len(), 4);
+/// assert!(FaultModelSpec::parse("martian-rays").is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultModelSpec {
+    /// The paper's i.i.d. Bernoulli edge faults ([`BernoulliEdges`]).
+    BernoulliEdges,
+    /// I.i.d. Bernoulli node faults ([`BernoulliNodes`]).
+    BernoulliNodes,
+    /// Ball-shaped correlated fault regions with default shape parameters
+    /// ([`CorrelatedRegions::default`]).
+    CorrelatedRegions,
+    /// Budgeted adversarial edge cuts with the default budget
+    /// ([`AdversarialBudget::default`]).
+    AdversarialBudget,
+}
+
+impl FaultModelSpec {
+    /// Every named model, in canonical (benign → adversarial) order — the
+    /// order `exp_fault_models` reports side-by-side columns in.
+    pub const ALL: [FaultModelSpec; 4] = [
+        FaultModelSpec::BernoulliEdges,
+        FaultModelSpec::BernoulliNodes,
+        FaultModelSpec::CorrelatedRegions,
+        FaultModelSpec::AdversarialBudget,
+    ];
+
+    /// The stable CLI name of this spec.
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            FaultModelSpec::BernoulliEdges => "bernoulli-edges",
+            FaultModelSpec::BernoulliNodes => "bernoulli-nodes",
+            FaultModelSpec::CorrelatedRegions => "correlated-regions",
+            FaultModelSpec::AdversarialBudget => "adversarial-budget",
+        }
+    }
+
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names if `name` is unknown.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|spec| spec.cli_name() == name)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = Self::ALL.iter().map(|s| s.cli_name()).collect();
+                format!(
+                    "unknown fault model {name:?}; valid models: {}",
+                    valid.join(", ")
+                )
+            })
+    }
+
+    /// Builds the model with its default shape parameters.
+    pub fn build(&self) -> Box<dyn FaultModel + Send + Sync> {
+        match self {
+            FaultModelSpec::BernoulliEdges => Box::new(BernoulliEdges::new()),
+            FaultModelSpec::BernoulliNodes => Box::new(BernoulliNodes::new()),
+            FaultModelSpec::CorrelatedRegions => Box::new(CorrelatedRegions::default()),
+            FaultModelSpec::AdversarialBudget => Box::new(AdversarialBudget::default()),
+        }
+    }
+}
+
+impl fmt::Display for FaultModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.cli_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for spec in FaultModelSpec::ALL {
+            assert_eq!(FaultModelSpec::parse(spec.cli_name()), Ok(spec));
+            assert_eq!(spec.to_string(), spec.cli_name());
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_vocabulary() {
+        let err = FaultModelSpec::parse("bogus").unwrap_err();
+        assert!(err.contains("bernoulli-edges"));
+        assert!(err.contains("adversarial-budget"));
+    }
+
+    #[test]
+    fn built_models_report_matching_names() {
+        // Built names start with the CLI name (parameterised models append
+        // their shape parameters).
+        for spec in FaultModelSpec::ALL {
+            let model = spec.build();
+            assert!(
+                model.name().starts_with(spec.cli_name()),
+                "{} vs {}",
+                model.name(),
+                spec.cli_name()
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the fault-model subsystem.
+//!
+//! The load-bearing guarantee: plugging the paper's Bernoulli-edge model
+//! through the new `FaultModel` path changes **nothing** — for every family
+//! in the zoo, the materialised bitset is bit-identical to the one the
+//! pre-fault-model construction (`BitsetSample::from_config`) builds. The
+//! remaining tests pin the determinism contract every model must obey.
+
+use faultnet_faultmodel::{
+    AdversarialBudget, BernoulliEdges, BernoulliNodes, CorrelatedRegions, FaultModel,
+    FaultModelSpec,
+};
+use faultnet_percolation::sample::{BitsetSample, EdgeStates, SampleBackend};
+use faultnet_percolation::PercolationConfig;
+use faultnet_topology::{
+    binary_tree::BinaryTree,
+    butterfly::Butterfly,
+    complete::CompleteGraph,
+    cycle_matching::{CycleWithMatching, MatchingKind},
+    de_bruijn::DeBruijn,
+    double_tree::DoubleBinaryTree,
+    explicit::ExplicitGraph,
+    hypercube::Hypercube,
+    mesh::Mesh,
+    shuffle_exchange::ShuffleExchange,
+    torus::Torus,
+    Topology,
+};
+use proptest::prelude::*;
+
+/// One small instance of every built-in family (mirrors the percolation
+/// crate's zoo), so "all families" checks need no repeated constructor list.
+fn family_zoo() -> Vec<Box<dyn Topology>> {
+    vec![
+        Box::new(Hypercube::new(5)),
+        Box::new(Mesh::new(2, 5)),
+        Box::new(Torus::new(2, 4)),
+        Box::new(CompleteGraph::new(16)),
+        Box::new(DeBruijn::new(5)),
+        Box::new(ShuffleExchange::new(5)),
+        Box::new(Butterfly::new(3)),
+        Box::new(BinaryTree::new(4)),
+        Box::new(DoubleBinaryTree::new(3)),
+        Box::new(CycleWithMatching::new(16, MatchingKind::Antipodal)),
+        Box::new(CycleWithMatching::new(16, MatchingKind::Random { seed: 5 })),
+        Box::new(ExplicitGraph::from_topology(&Mesh::new(2, 4))),
+    ]
+}
+
+/// Every named model with its default shape parameters.
+fn all_models() -> Vec<Box<dyn FaultModel + Send + Sync>> {
+    FaultModelSpec::ALL.iter().map(|s| s.build()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No behavioural drift for the paper's model: `BernoulliEdges` through
+    /// the `FaultModel` path materialises to the *bit-identical* bitset the
+    /// existing `BitsetSample::from_config` construction produces, for every
+    /// family in the zoo.
+    #[test]
+    fn bernoulli_edges_is_bit_identical_to_the_legacy_bitset_path(
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PercolationConfig::new(p, seed);
+        let model = BernoulliEdges::new();
+        for graph in family_zoo() {
+            let graph = graph.as_ref();
+            let legacy = BitsetSample::from_config(graph, &cfg);
+            let instance = model.instance(graph, cfg, None);
+            let through_model = BitsetSample::from_states(graph, &instance);
+            prop_assert_eq!(
+                legacy.words(),
+                through_model.words(),
+                "bitset words diverged on {}",
+                graph.name()
+            );
+            prop_assert_eq!(legacy.num_open(), through_model.num_open());
+            prop_assert_eq!(through_model.backend(), SampleBackend::Bitset);
+        }
+    }
+
+    /// Determinism: every model, on every family, gives the same instance
+    /// for the same `(config, pair)` — edge for edge.
+    #[test]
+    fn every_model_is_deterministic_on_every_family(
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PercolationConfig::new(p, seed);
+        for graph in family_zoo() {
+            let graph = graph.as_ref();
+            let pair = graph.canonical_pair();
+            for model in all_models() {
+                let a = model.instance(graph, cfg, Some(pair));
+                let b = model.instance(graph, cfg, Some(pair));
+                for e in graph.edges() {
+                    prop_assert_eq!(
+                        a.is_open(e),
+                        b.is_open(e),
+                        "{} is nondeterministic on {} at {}",
+                        model.name(),
+                        graph.name(),
+                        e
+                    );
+                }
+            }
+        }
+    }
+
+    /// Overlay soundness: no model ever *opens* an edge the background
+    /// substrate closed — overlays only remove edges. (At p = 1 all
+    /// substrates are fully open, so this degenerates; random p exercises
+    /// it.)
+    #[test]
+    fn overlays_only_close_edges(p in 0.0f64..1.0, seed in any::<u64>()) {
+        let cfg = PercolationConfig::new(p, seed);
+        let sampler = cfg.sampler();
+        let cube = Hypercube::new(6);
+        let pair = cube.canonical_pair();
+        // Background-substrate models: open ⊆ sampler-open.
+        for model in [
+            Box::new(CorrelatedRegions::default()) as Box<dyn FaultModel>,
+            Box::new(AdversarialBudget::default()),
+        ] {
+            let instance = model.instance(&cube, cfg, Some(pair));
+            for e in cube.edges() {
+                if instance.is_open(e) {
+                    prop_assert!(
+                        sampler.is_open(e),
+                        "{} opened closed edge {}",
+                        model.name(),
+                        e
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every model materialises through `BitsetSample::from_states` onto the
+/// closed-form bitset backend on every built-in family — the dense-analytics
+/// path is model-agnostic.
+#[test]
+fn every_model_materialises_on_the_bitset_backend() {
+    let cfg = PercolationConfig::new(0.6, 17);
+    for graph in family_zoo() {
+        let graph = graph.as_ref();
+        for model in all_models() {
+            let instance = model.instance(graph, cfg, Some(graph.canonical_pair()));
+            let sample = BitsetSample::from_states(graph, &instance);
+            assert_eq!(
+                sample.backend(),
+                SampleBackend::Bitset,
+                "{} on {} fell back to the frozen path",
+                model.name(),
+                graph.name()
+            );
+            // The materialised bitset agrees with the live instance.
+            for e in graph.edges() {
+                assert_eq!(sample.is_open(e), instance.is_open(e));
+            }
+        }
+    }
+}
+
+/// At p = 1 with benign models there are no faults at all; at p = 0 nothing
+/// survives. Sanity-pins the meaning of the `p` knob per model.
+#[test]
+fn survival_knob_extremes_behave_per_model() {
+    let cube = Hypercube::new(5);
+    let pair = cube.canonical_pair();
+    let all = PercolationConfig::new(1.0, 3);
+    let none = PercolationConfig::new(0.0, 3);
+    for model in [
+        Box::new(BernoulliEdges::new()) as Box<dyn FaultModel>,
+        Box::new(BernoulliNodes::new()),
+    ] {
+        let healthy = model.instance(&cube, all, Some(pair));
+        let dead = model.instance(&cube, none, Some(pair));
+        for e in cube.edges() {
+            assert!(healthy.is_open(e), "{}: {} closed at p=1", model.name(), e);
+            assert!(!dead.is_open(e), "{}: {} open at p=0", model.name(), e);
+        }
+    }
+    // The adversary at p = 1 closes exactly its severed set.
+    let adversary = AdversarialBudget::new(2);
+    let instance = adversary.instance(&cube, all, Some(pair));
+    let severed = adversary.severed_edges(&cube, pair);
+    let closed: Vec<_> = cube
+        .edges()
+        .into_iter()
+        .filter(|e| !instance.is_open(*e))
+        .collect();
+    assert_eq!(closed.len(), severed.len());
+    assert!(closed.iter().all(|e| severed.contains(e)));
+}

@@ -16,6 +16,14 @@
 //!   query essentially every edge, often repeatedly.
 //! * [`FrozenSample`] — an eagerly materialised set of open edges (useful
 //!   for tests that want to manipulate individual edges).
+//!
+//! The Bernoulli-edge assumption is **not** baked into the consumers:
+//! everything downstream reads states through the [`EdgeStates`] trait, and
+//! the `faultnet-faultmodel` crate produces `EdgeStates` implementations for
+//! other fault models (node faults, correlated fault regions, adversarial
+//! cuts). [`BitsetSample::from_states`] is the materialisation point — it
+//! densifies *any* `EdgeStates` producer, Bernoulli or not, onto the
+//! closed-form edge-index bitset path.
 
 use std::collections::HashSet;
 
@@ -239,6 +247,16 @@ impl<'g, T: Topology + ?Sized> BitsetSample<'g, T> {
     /// Fraction of the topology's edges that are open (the empirical `p`).
     pub fn open_fraction(&self) -> f64 {
         self.num_open as f64 / self.graph.num_edges() as f64
+    }
+
+    /// The raw bitset words (one bit per canonical edge-index slot), empty
+    /// in [`SampleBackend::Frozen`] fallback mode.
+    ///
+    /// Exposed so equivalence tests can compare two samples *bit for bit*
+    /// — in particular, that a fault model claiming to reproduce the
+    /// Bernoulli-edge model materialises to exactly the same words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 

@@ -8,9 +8,21 @@
 //! un-metered BFS — the ground truth, not a router), run the router on the
 //! remaining instances, verify any returned path, and record the probe
 //! counts.
+//!
+//! The fault process itself is pluggable: the default `measure` /
+//! `measure_parallel` methods realise the paper's i.i.d. Bernoulli edge
+//! faults through the lazy [`faultnet_percolation::EdgeSampler`], while the
+//! `*_with_model` variants run the identical conditioned-trial procedure
+//! under any [`faultnet_faultmodel::FaultModel`] (node faults, correlated
+//! fault regions, adversarial cuts, …). Both paths share one trial
+//! classifier, and both obey the same determinism contract: trial `t` is a
+//! pure function of `config.seed() + t`, so parallel measurement merges to
+//! bit-identical statistics for every model and thread count.
 
 use faultnet_analysis::sweep::Sweep;
+use faultnet_faultmodel::FaultModel;
 use faultnet_percolation::bfs::connected;
+use faultnet_percolation::sample::EdgeStates;
 use faultnet_percolation::PercolationConfig;
 use faultnet_topology::{Topology, VertexId};
 
@@ -228,6 +240,40 @@ impl<T: Topology> ComplexityHarness<T> {
         self.config
     }
 
+    /// Classifies one conditioned trial: runs `router` against the given
+    /// edge `states` and buckets the outcome. Shared by the Bernoulli fast
+    /// path and the fault-model path, so the two classify identically.
+    fn classify_trial<R, S>(&self, router: &R, states: &S, u: VertexId, v: VertexId) -> TrialResult
+    where
+        S: EdgeStates,
+        R: Router<T, S>,
+    {
+        let mut engine = ProbeEngine::with_locality(&self.graph, states, router.locality(), u);
+        if let Some(budget) = self.probe_budget {
+            engine = engine.with_budget(budget);
+        }
+        match router.route(&mut engine, u, v) {
+            Ok(outcome) => match outcome.path {
+                Some(path) => {
+                    if path.connects(u, v) && path.is_valid_open_path(&self.graph, states) {
+                        TrialResult::Routed {
+                            probes: outcome.probes,
+                        }
+                    } else {
+                        TrialResult::InvalidPath
+                    }
+                }
+                None => TrialResult::GaveUp {
+                    probes: outcome.probes,
+                },
+            },
+            Err(RouteError::Probe(crate::probe::ProbeError::BudgetExhausted { budget })) => {
+                TrialResult::BudgetExhausted { budget }
+            }
+            Err(other) => panic!("router {} failed: {other}", router.name()),
+        }
+    }
+
     /// Runs a single conditioned trial with the given seed, or `None` if the
     /// conditioning event `{u ∼ v}` fails in that instance.
     pub fn run_trial<R>(
@@ -245,30 +291,31 @@ impl<T: Topology> ComplexityHarness<T> {
         if !connected(&self.graph, &sampler, u, v) {
             return None;
         }
-        let mut engine = ProbeEngine::with_locality(&self.graph, &sampler, router.locality(), u);
-        if let Some(budget) = self.probe_budget {
-            engine = engine.with_budget(budget);
+        Some(self.classify_trial(router, &sampler, u, v))
+    }
+
+    /// Like [`ComplexityHarness::run_trial`], but draws the instance from an
+    /// arbitrary [`FaultModel`] instead of the Bernoulli edge sampler. The
+    /// routed pair is forwarded to the model so pair-targeting models (the
+    /// adversary) aim at the measured flow.
+    pub fn run_trial_with_model<M, R>(
+        &self,
+        model: &M,
+        router: &R,
+        u: VertexId,
+        v: VertexId,
+        seed: u64,
+    ) -> Option<TrialResult>
+    where
+        M: FaultModel + ?Sized,
+        R: Router<T, faultnet_faultmodel::FaultInstance>,
+    {
+        let cfg = self.config.with_seed(seed);
+        let instance = model.instance(&self.graph, cfg, Some((u, v)));
+        if !connected(&self.graph, &instance, u, v) {
+            return None;
         }
-        Some(match router.route(&mut engine, u, v) {
-            Ok(outcome) => match outcome.path {
-                Some(path) => {
-                    if path.connects(u, v) && path.is_valid_open_path(&self.graph, &sampler) {
-                        TrialResult::Routed {
-                            probes: outcome.probes,
-                        }
-                    } else {
-                        TrialResult::InvalidPath
-                    }
-                }
-                None => TrialResult::GaveUp {
-                    probes: outcome.probes,
-                },
-            },
-            Err(RouteError::Probe(crate::probe::ProbeError::BudgetExhausted { budget })) => {
-                TrialResult::BudgetExhausted { budget }
-            }
-            Err(other) => panic!("router {} failed: {other}", router.name()),
-        })
+        Some(self.classify_trial(router, &instance, u, v))
     }
 
     /// Measures `router` between `u` and `v` over `trials` independent
@@ -348,6 +395,82 @@ impl<T: Topology> ComplexityHarness<T> {
         let per_trial = Sweep::over(0..trials).run_parallel(threads, |&t| {
             let seed = self.config.seed().wrapping_add(t as u64);
             self.run_trial(router, u, v, seed)
+        });
+        let mut stats = ComplexityStats::empty(router.name(), trials);
+        for point in per_trial {
+            if let Some(result) = point.value {
+                stats.record(result);
+            }
+        }
+        stats
+    }
+
+    /// Like [`ComplexityHarness::measure`], but samples each trial's
+    /// instance from an arbitrary [`FaultModel`] instead of the Bernoulli
+    /// edge sampler — the conditioning, verification, and bucketing are
+    /// identical.
+    ///
+    /// Measuring `BernoulliEdges` through this method reproduces
+    /// [`ComplexityHarness::measure`] exactly (the model delegates to the
+    /// same pure `(seed, edge)` function; the tests assert equality).
+    pub fn measure_with_model<M, R>(
+        &self,
+        model: &M,
+        router: &R,
+        u: VertexId,
+        v: VertexId,
+        trials: u32,
+    ) -> ComplexityStats
+    where
+        M: FaultModel + ?Sized,
+        R: Router<T, faultnet_faultmodel::FaultInstance>,
+    {
+        let mut stats = ComplexityStats::empty(router.name(), trials);
+        for t in 0..trials {
+            let seed = self.config.seed().wrapping_add(t as u64);
+            if let Some(result) = self.run_trial_with_model(model, router, u, v, seed) {
+                stats.record(result);
+            }
+        }
+        stats
+    }
+
+    /// Like [`ComplexityHarness::measure_parallel`], but under an arbitrary
+    /// [`FaultModel`].
+    ///
+    /// The determinism contract carries over model-independently: a model's
+    /// instance is a pure function of `(model, graph, seed, pair)` (the
+    /// [`FaultModel`] contract), trial outcomes are folded in trial order,
+    /// so for every model, router, seed, and thread count
+    /// `measure_parallel_with_model(m, r, u, v, n, k) ==
+    /// measure_with_model(m, r, u, v, n)` — bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`ComplexityHarness::measure_parallel`].
+    pub fn measure_parallel_with_model<M, R>(
+        &self,
+        model: &M,
+        router: &R,
+        u: VertexId,
+        v: VertexId,
+        trials: u32,
+        threads: usize,
+    ) -> ComplexityStats
+    where
+        T: Sync,
+        M: FaultModel + Sync + ?Sized,
+        R: Router<T, faultnet_faultmodel::FaultInstance> + Sync,
+    {
+        assert!(threads > 0, "at least one thread is required");
+        let threads = threads.min(trials.max(1) as usize);
+        if threads == 1 {
+            return self.measure_with_model(model, router, u, v, trials);
+        }
+        let per_trial = Sweep::over(0..trials).run_parallel(threads, |&t| {
+            let seed = self.config.seed().wrapping_add(t as u64);
+            self.run_trial_with_model(model, router, u, v, seed)
         });
         let mut stats = ComplexityStats::empty(router.name(), trials);
         for point in per_trial {
@@ -470,6 +593,93 @@ mod tests {
         let stats = harness.measure_parallel(&FloodRouter::new(), u, v, 0, 4);
         assert_eq!(stats.attempted_trials(), 0);
         assert_eq!(stats.conditioned_trials(), 0);
+    }
+
+    #[test]
+    fn bernoulli_edges_model_reproduces_the_legacy_measurement_exactly() {
+        use faultnet_faultmodel::BernoulliEdges;
+        // The paper's model through the FaultModel path must be
+        // indistinguishable from the pre-fault-model harness: same
+        // conditioning decisions, same probe counts, same buckets.
+        let cube = Hypercube::new(8);
+        for (p, seed) in [(0.4, 11u64), (0.55, 3), (0.9, 42)] {
+            let harness = ComplexityHarness::new(cube, PercolationConfig::new(p, seed));
+            let (u, v) = cube.canonical_pair();
+            let legacy = harness.measure(&FloodRouter::new(), u, v, 16);
+            let through_model =
+                harness.measure_with_model(&BernoulliEdges::new(), &FloodRouter::new(), u, v, 16);
+            assert_eq!(legacy, through_model, "p = {p}, seed = {seed}");
+        }
+    }
+
+    #[test]
+    fn every_fault_model_measures_bit_identically_across_thread_counts() {
+        use faultnet_faultmodel::FaultModelSpec;
+        // The acceptance criterion of the fault-model subsystem: for every
+        // model, the parallel merge is bit-identical to the sequential fold.
+        let cube = Hypercube::new(7);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.7, 5));
+        let (u, v) = cube.canonical_pair();
+        for spec in FaultModelSpec::ALL {
+            let model = spec.build();
+            let sequential = harness.measure_with_model(&model, &FloodRouter::new(), u, v, 12);
+            assert!(
+                sequential.conditioned_trials() > 0,
+                "{spec}: no conditioned trials — the determinism check would be vacuous"
+            );
+            for threads in [1usize, 2, 4] {
+                let parallel = harness.measure_parallel_with_model(
+                    &model,
+                    &FloodRouter::new(),
+                    u,
+                    v,
+                    12,
+                    threads,
+                );
+                assert_eq!(sequential, parallel, "{spec} diverged at threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_faults_lower_connectivity_below_edge_faults() {
+        use faultnet_faultmodel::{BernoulliEdges, BernoulliNodes};
+        // At equal p, node faults are strictly harsher than edge faults on
+        // the conditioning event: the routed pair itself must survive.
+        let cube = Hypercube::new(8);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.8, 9));
+        let (u, v) = cube.canonical_pair();
+        let edges =
+            harness.measure_with_model(&BernoulliEdges::new(), &FloodRouter::new(), u, v, 30);
+        let nodes =
+            harness.measure_with_model(&BernoulliNodes::new(), &FloodRouter::new(), u, v, 30);
+        assert!(
+            nodes.connectivity_rate() < edges.connectivity_rate(),
+            "nodes {} vs edges {}",
+            nodes.connectivity_rate(),
+            edges.connectivity_rate()
+        );
+        // Flood routing stays complete under conditioning for every model.
+        assert_eq!(nodes.successes(), nodes.conditioned_trials());
+    }
+
+    #[test]
+    fn adversary_with_full_degree_budget_defeats_conditioning() {
+        use faultnet_faultmodel::AdversarialBudget;
+        let cube = Hypercube::new(6);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(1.0, 2));
+        let (u, v) = cube.canonical_pair();
+        // Budget = deg(u): the adversary isolates the source even with no
+        // random faults at all, so no trial ever satisfies {u ∼ v}.
+        let stats =
+            harness.measure_with_model(&AdversarialBudget::new(6), &FloodRouter::new(), u, v, 8);
+        assert_eq!(stats.conditioned_trials(), 0);
+        // One cut short of the degree leaves the pair routable at p = 1:
+        // every trial conditions and floods its way around the cuts.
+        let stats =
+            harness.measure_with_model(&AdversarialBudget::new(5), &FloodRouter::new(), u, v, 8);
+        assert_eq!(stats.successes(), 8);
+        assert_eq!(stats.connectivity_rate(), 1.0);
     }
 
     #[test]

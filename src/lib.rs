@@ -10,6 +10,10 @@
 //! * [`percolation`] — independent edge-failure substrate and percolation
 //!   analytics (components, thresholds, chemical distance, branching
 //!   processes).
+//! * [`faultmodel`] — pluggable fault models beyond the paper's Bernoulli
+//!   edge faults: node (router) failures, correlated fault regions, and
+//!   budgeted adversarial cuts, all flowing through the same probe model
+//!   and measurement harness.
 //! * [`routing`] — the paper's core contribution: the probe model, local and
 //!   oracle routing algorithms, the Lemma 5 lower-bound machinery, and the
 //!   routing-complexity measurement harness.
@@ -38,6 +42,7 @@
 
 pub use faultnet_analysis as analysis;
 pub use faultnet_experiments as experiments;
+pub use faultnet_faultmodel as faultmodel;
 pub use faultnet_percolation as percolation;
 pub use faultnet_routing as routing;
 pub use faultnet_topology as topology;
@@ -49,6 +54,10 @@ pub mod prelude {
         stats::Summary,
         sweep::Sweep,
         table::Table,
+    };
+    pub use faultnet_faultmodel::{
+        AdversarialBudget, BernoulliEdges, BernoulliNodes, CorrelatedRegions, FaultInstance,
+        FaultModel, FaultModelSpec,
     };
     pub use faultnet_percolation::{
         components::ComponentCensus,

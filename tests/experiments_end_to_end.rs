@@ -2,17 +2,26 @@
 //! reports carry the qualitative conclusions recorded in EXPERIMENTS.md.
 
 use faultnet::experiments::{
-    chemical_distance::ChemicalDistanceExperiment, double_tree::DoubleTreeExperiment,
-    gnp::GnpExperiment, hypercube_giant::HypercubeGiantExperiment,
+    chemical_distance::ChemicalDistanceExperiment,
+    double_tree::DoubleTreeExperiment,
+    fault_models::FaultModelsExperiment,
+    gnp::GnpExperiment,
+    hypercube_giant::HypercubeGiantExperiment,
     hypercube_lower_bound::HypercubeLowerBoundExperiment,
-    hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
-    mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment,
-    suite::run_all_reports, Effort,
+    hypercube_transition::HypercubeTransitionExperiment,
+    mesh_routing::MeshRoutingExperiment,
+    mesh_threshold::MeshThresholdExperiment,
+    open_questions::OpenQuestionsExperiment,
+    suite::{registry, run_all_reports},
+    Effort,
 };
 
 /// The determinism contract of `run_all --quick`: the full rendered output
 /// (plain text and Markdown) is byte-identical across `--threads 1/2/4`.
 /// Previously only documented in docs/EXPERIMENTS.md; now enforced here.
+/// Because `run_all_reports` enumerates the experiment registry, this
+/// covers every registered experiment — including `exp_fault_models`, i.e.
+/// every fault model's parallel merge.
 #[test]
 fn run_all_quick_output_is_byte_identical_across_thread_counts() {
     let render_suite = |threads: usize| -> (String, String) {
@@ -130,4 +139,32 @@ fn mesh_threshold_report() {
 fn open_questions_report() {
     let report = OpenQuestionsExperiment::quick().run();
     assert_eq!(report.tables().len(), 4);
+}
+
+#[test]
+fn fault_models_report_compares_all_models() {
+    let report = FaultModelsExperiment::quick().run();
+    for model in [
+        "bernoulli-edges",
+        "bernoulli-nodes",
+        "correlated-regions",
+        "adversarial-budget",
+    ] {
+        assert!(
+            report.render().contains(model),
+            "report is missing the {model} column"
+        );
+    }
+}
+
+/// `run_all` derives from the registry, so the report sequence and the
+/// registry must agree one to one — no second hand-maintained list.
+#[test]
+fn run_all_enumerates_the_registry() {
+    let experiments = registry();
+    let reports = run_all_reports(Effort::Quick, 2);
+    assert_eq!(reports.len(), experiments.len());
+    assert!(experiments.iter().any(|e| e.binary == "exp_fault_models"));
+    // E11 runs last in registry order and is the fault-model matrix.
+    assert!(reports.last().unwrap().name().contains("fault-model"));
 }
