@@ -1,0 +1,80 @@
+//! Bench target for the intra-instance component census: the sequential
+//! union-find pass vs the edge-partitioned parallel engine
+//! (`ComponentCensus::compute_parallel`), across hypercube sizes.
+//!
+//! This is the per-instance ceiling the parallel census exists to lift: at
+//! n = 16 one census touches 524 288 edges, at n = 18 over 2.3 million —
+//! per *trial*, and the giant/connectivity grids run tens of trials per
+//! point. The `census/seq_vs_par` group reports both paths on the same
+//! materialised instance so the speedup (on multi-core hardware) reads
+//! straight out of `cargo bench`; the two are bit-identical in output, so
+//! any measured gap is pure wall-clock. On a single-core box the parallel
+//! rows regress slightly (thread spawn + CAS traffic with nothing to
+//! overlap) — record numbers from a multi-core machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faultnet_percolation::components::ComponentCensus;
+use faultnet_percolation::sample::BitsetSample;
+use faultnet_percolation::PercolationConfig;
+use faultnet_topology::hypercube::Hypercube;
+use faultnet_topology::Topology;
+use std::time::Duration;
+
+/// Sequential vs parallel census over one materialised hypercube instance,
+/// n = 14 .. 18. p = 0.5 sits in the regime where components are plentiful
+/// and the union-find does real merging work (p near 0 or 1 degenerates to
+/// almost-no-unions or one-big-chain respectively).
+fn bench_census_seq_vs_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("census/seq_vs_par");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for &n in &[14u32, 16, 18] {
+        let cube = Hypercube::new(n);
+        let bitset = BitsetSample::from_config(&cube, &PercolationConfig::new(0.5, 7));
+        group.throughput(Throughput::Elements(cube.num_edges()));
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| ComponentCensus::compute(&cube, &bitset).largest_component_size())
+        });
+        for &threads in &[2usize, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(format!("par{threads}"), n), &n, |b, _| {
+                b.iter(|| {
+                    ComponentCensus::compute_parallel(&cube, &bitset, threads)
+                        .largest_component_size()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The census consumers the knob is threaded through, at the E8a quick
+/// scale: one hypercube giant/connectivity point measured with the
+/// sequential census vs the parallel one (identical numbers, different
+/// wall-clock on multi-core hardware).
+fn bench_hypercube_point_census_threads(c: &mut Criterion) {
+    use faultnet_experiments::hypercube_giant::measure_hypercube_point;
+    let mut group = c.benchmark_group("census/hypercube_point");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &census_threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("census_threads", census_threads),
+            &census_threads,
+            |b, &census_threads| {
+                b.iter(|| {
+                    measure_hypercube_point(12, 0.45, 3, 11, 1, census_threads).giant_fraction
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_census_seq_vs_par,
+    bench_hypercube_point_census_threads
+);
+criterion_main!(benches);

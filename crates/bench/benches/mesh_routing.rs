@@ -16,7 +16,7 @@ fn bench_distance_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(distance),
             &distance,
             |b, &distance| {
-                b.iter(|| measure_mesh_point(2, 0.7, distance, 4, false, 11, 1));
+                b.iter(|| measure_mesh_point(2, 0.7, distance, 4, false, 11, 1, 1));
             },
         );
     }
@@ -33,7 +33,7 @@ fn bench_near_threshold(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("p_{p}")),
             &p,
             |b, &p| {
-                b.iter(|| measure_mesh_point(2, p, 16, 4, false, 13, 1));
+                b.iter(|| measure_mesh_point(2, p, 16, 4, false, 13, 1, 1));
             },
         );
     }

@@ -184,7 +184,7 @@ fn bench_thresholds_and_stretch(c: &mut Criterion) {
         b.iter(|| measure_stretch_point(0.7, 16, 6, 3, 1))
     });
     group.bench_function("hypercube_giant_point_n10", |b| {
-        b.iter(|| measure_hypercube_point(10, 0.15, 4, 5, 1))
+        b.iter(|| measure_hypercube_point(10, 0.15, 4, 5, 1, 1))
     });
     group.finish();
 }

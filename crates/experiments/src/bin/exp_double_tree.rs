@@ -3,8 +3,11 @@
 //! Flags: `--quick` for the reduced configuration used by tests and benches
 //! (the default is the full configuration recorded in docs/EXPERIMENTS.md),
 //! `--threads N` to set the worker-thread count (0 or absent = one worker
-//! per core; the emitted tables are identical for every value), and
-//! `--markdown` for Markdown output.
+//! per core; the emitted tables are identical for every value),
+//! `--census-threads N` to run each intra-instance component census on `N`
+//! workers (absent = sequential census; 0 = one worker per core; the
+//! emitted tables are identical for every value), and `--markdown` for
+//! Markdown output.
 
 use faultnet_experiments::cli::ExpArgs;
 use faultnet_experiments::double_tree::DoubleTreeExperiment;
@@ -12,6 +15,8 @@ use faultnet_experiments::double_tree::DoubleTreeExperiment;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("exp_double_tree");
-    let experiment = DoubleTreeExperiment::with_effort(args.effort).with_threads(args.threads);
+    let experiment = DoubleTreeExperiment::with_effort(args.effort)
+        .with_threads(args.threads)
+        .with_census_threads(args.census_threads);
     args.print(&experiment.run());
 }

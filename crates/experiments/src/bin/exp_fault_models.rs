@@ -10,8 +10,11 @@
 //! (the default is the full configuration recorded in docs/EXPERIMENTS.md),
 //! `--threads N` to set the worker-thread count (0 or absent = one worker
 //! per core; the emitted tables are identical for every value),
-//! `--fault-model NAME` to restrict the matrix to a single model, and
-//! `--markdown` for Markdown output.
+//! `--census-threads N` to run each intra-instance component census on `N`
+//! workers (absent = sequential census; 0 = one worker per core; the
+//! emitted tables are identical for every value), `--fault-model NAME` to
+//! restrict the matrix to a single model, and `--markdown` for Markdown
+//! output.
 
 use faultnet_experiments::cli::ExpArgs;
 use faultnet_experiments::fault_models::FaultModelsExperiment;
@@ -20,6 +23,7 @@ fn main() {
     let args = ExpArgs::parse_env();
     let experiment = FaultModelsExperiment::with_effort(args.effort)
         .with_threads(args.threads)
+        .with_census_threads(args.census_threads)
         .with_fault_model(args.fault_model);
     args.print(&experiment.run());
 }

@@ -1,6 +1,6 @@
 //! Runs every experiment in sequence and prints the combined report.
 //!
-//! `cargo run --release -p faultnet-experiments --bin run_all -- [--quick] [--markdown] [--threads N]`
+//! `cargo run --release -p faultnet-experiments --bin run_all -- [--quick] [--markdown] [--threads N] [--census-threads N]`
 //!
 //! * `--quick` uses the reduced configurations (seconds per experiment);
 //!   the default is the full configurations recorded in docs/EXPERIMENTS.md.
@@ -10,6 +10,10 @@
 //!   worker threads (0 or absent = one worker per core). The parallel
 //!   harness merges results in deterministic order, so the emitted tables
 //!   are identical for every thread count.
+//! * `--census-threads N` runs each intra-instance component census on `N`
+//!   workers (absent = sequential census; 0 = one worker per core). The
+//!   parallel census is bit-identical to the sequential one, so this knob
+//!   too leaves every emitted byte unchanged.
 
 use faultnet_experiments::cli::ExpArgs;
 use faultnet_experiments::suite::run_all_reports;
@@ -17,7 +21,7 @@ use faultnet_experiments::suite::run_all_reports;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("run_all");
-    let reports = run_all_reports(args.effort, args.threads);
+    let reports = run_all_reports(args.effort, args.threads, args.census_threads);
 
     for report in &reports {
         args.print(report);

@@ -9,6 +9,16 @@
 //!   worker per available core". Because the parallel harness merges trial
 //!   results in deterministic order, the emitted tables are identical for
 //!   every thread count — the knob only changes wall-clock time.
+//! * `--census-threads N` (or `--census-threads=N`) — run each
+//!   *intra-instance* component census (giant scans, threshold bisections,
+//!   census-based conditioning) on `N` workers through
+//!   `ComponentCensus::compute_parallel`. `N = 0` means "one worker per
+//!   available core"; the default of 1 keeps the sequential census, which
+//!   wins below roughly the n = 14 hypercube where per-census thread
+//!   spawning costs more than it saves. The parallel census is
+//!   bit-identical to the sequential one (canonical min-vertex component
+//!   labels), so this knob, like `--threads`, never changes a single
+//!   emitted byte.
 //! * `--markdown` — render the report as Markdown instead of plain text.
 //! * `--fault-model NAME` (or `--fault-model=NAME`) — select one named
 //!   fault model (`bernoulli-edges`, `bernoulli-nodes`,
@@ -33,7 +43,11 @@ use crate::report::Effort;
 /// let args = ExpArgs::parse(["--quick", "--threads", "4"].map(String::from));
 /// assert_eq!(args.effort, Effort::Quick);
 /// assert_eq!(args.threads, 4);
+/// assert_eq!(args.census_threads, 1);
 /// assert!(!args.markdown);
+///
+/// let args = ExpArgs::parse(["--census-threads", "4"].map(String::from));
+/// assert_eq!(args.census_threads, 4);
 ///
 /// let args = ExpArgs::parse(["--threads=2", "--markdown"].map(String::from));
 /// assert_eq!(args.effort, Effort::Full);
@@ -53,6 +67,9 @@ pub struct ExpArgs {
     /// Worker-thread count, already resolved: `--threads 0` and an absent
     /// flag both resolve to the number of available cores (at least 1).
     pub threads: usize,
+    /// Intra-instance census thread count, already resolved: absent = 1
+    /// (sequential census), `--census-threads 0` = one worker per core.
+    pub census_threads: usize,
     /// Whether `--markdown` was passed.
     pub markdown: bool,
     /// The fault model selected with `--fault-model`, if any. `None` means
@@ -69,6 +86,8 @@ impl ExpArgs {
         let mut effort = Effort::Full;
         let mut markdown = false;
         let mut threads: usize = 0;
+        // 1 = sequential census (the default); 0 = auto, resolved below.
+        let mut census_threads: usize = 1;
         let mut fault_model = None;
         let mut parse_model = |value: &str| match FaultModelSpec::parse(value) {
             Ok(spec) => fault_model = Some(spec),
@@ -91,6 +110,18 @@ impl ExpArgs {
                         None => eprintln!("--threads expects a number; using auto"),
                     }
                 }
+                "--census-threads" => {
+                    // Same lookahead rule as --threads.
+                    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        Some(n) => {
+                            census_threads = n;
+                            i += 1;
+                        }
+                        None => {
+                            eprintln!("--census-threads expects a number; using the default of 1")
+                        }
+                    }
+                }
                 "--fault-model" => {
                     // Same lookahead rule as --threads: consume the next
                     // token as the value unless it is itself a flag, so a
@@ -111,6 +142,11 @@ impl ExpArgs {
                             eprintln!("--threads expects a number; using auto");
                             0
                         });
+                    } else if let Some(value) = other.strip_prefix("--census-threads=") {
+                        census_threads = value.parse().unwrap_or_else(|_| {
+                            eprintln!("--census-threads expects a number; using the default of 1");
+                            1
+                        });
                     } else if let Some(value) = other.strip_prefix("--fault-model=") {
                         parse_model(value);
                     } else {
@@ -123,6 +159,7 @@ impl ExpArgs {
         ExpArgs {
             effort,
             threads: resolve_threads(threads),
+            census_threads: resolve_census_threads(census_threads),
             markdown,
             fault_model,
         }
@@ -170,6 +207,14 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Resolves the `--census-threads` value: explicit counts are kept, `0`
+/// means "all available cores" (identical to [`resolve_threads`]; the
+/// default of 1 is applied by the parser, not here, so callers resolving a
+/// stored 0 still get auto).
+pub fn resolve_census_threads(requested: usize) -> usize {
+    resolve_threads(requested)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +254,42 @@ mod tests {
         ]);
         assert_eq!(args.effort, Effort::Quick);
         assert!(args.threads >= 1);
+    }
+
+    #[test]
+    fn census_threads_flag_forms() {
+        // Absent: sequential census.
+        assert_eq!(ExpArgs::parse(Vec::new()).census_threads, 1);
+        // Explicit counts in both spellings.
+        assert_eq!(
+            ExpArgs::parse(vec!["--census-threads".into(), "4".into()]).census_threads,
+            4
+        );
+        assert_eq!(
+            ExpArgs::parse(vec!["--census-threads=2".into()]).census_threads,
+            2
+        );
+        // 0 = one worker per core.
+        assert!(ExpArgs::parse(vec!["--census-threads".into(), "0".into()]).census_threads >= 1);
+        // A valueless flag keeps the default and must not swallow the next
+        // flag.
+        let args = ExpArgs::parse(vec!["--census-threads".into(), "--markdown".into()]);
+        assert_eq!(args.census_threads, 1);
+        assert!(args.markdown);
+        // Malformed value falls back to the default.
+        assert_eq!(
+            ExpArgs::parse(vec!["--census-threads=lots".into()]).census_threads,
+            1
+        );
+        // Orthogonal to --threads.
+        let args = ExpArgs::parse(vec![
+            "--threads".into(),
+            "8".into(),
+            "--census-threads".into(),
+            "2".into(),
+        ]);
+        assert_eq!(args.threads, 8);
+        assert_eq!(args.census_threads, 2);
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub struct ModelMeshPoint {
 }
 
 /// Measures the E4 landmark-router point (2-d mesh, straight pair at
-/// `distance`) under `model`, fanning trials across `threads` workers.
+/// `distance`) under `model`, fanning trials across `threads` workers; with
+/// `census_threads > 1` each trial's conditioning check runs on the parallel
+/// census (bit-identical numbers either way).
 pub fn measure_mesh_point_with_model<M: FaultModel + Sync + ?Sized>(
     model: &M,
     p: f64,
@@ -54,9 +56,11 @@ pub fn measure_mesh_point_with_model<M: FaultModel + Sync + ?Sized>(
     trials: u32,
     base_seed: u64,
     threads: usize,
+    census_threads: usize,
 ) -> ModelMeshPoint {
     let (mesh, u, v) = mesh_and_pair(2, distance);
-    let harness = ComplexityHarness::new(mesh, PercolationConfig::new(p, base_seed));
+    let harness = ComplexityHarness::new(mesh, PercolationConfig::new(p, base_seed))
+        .with_census_threads(census_threads);
     let stats = harness.measure_parallel_with_model(
         model,
         &MeshLandmarkRouter::new(),
@@ -94,6 +98,9 @@ pub struct FaultModelsExperiment {
     /// Worker threads (1 = sequential; the reported numbers are identical
     /// for every value).
     pub threads: usize,
+    /// Intra-census worker threads (1 = sequential census; the reported
+    /// numbers are identical for every value).
+    pub census_threads: usize,
 }
 
 impl FaultModelsExperiment {
@@ -112,6 +119,7 @@ impl FaultModelsExperiment {
             cube_trials: effort.pick(6, 20),
             base_seed: 0xFA11,
             threads: 1,
+            census_threads: 1,
         }
     }
 
@@ -129,6 +137,13 @@ impl FaultModelsExperiment {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the intra-census worker count (the `--census-threads` knob).
+    #[must_use]
+    pub fn with_census_threads(mut self, census_threads: usize) -> Self {
+        self.census_threads = census_threads.max(1);
         self
     }
 
@@ -181,6 +196,7 @@ impl FaultModelsExperiment {
                             .wrapping_add((di as u64) << 8)
                             .wrapping_add(canonical_index(*spec)),
                         self.threads,
+                        self.census_threads,
                     );
                     row.push(fmt_float(point.mean_probes));
                 }
@@ -223,6 +239,7 @@ impl FaultModelsExperiment {
                         .wrapping_add((qi as u64) * 131)
                         .wrapping_add(canonical_index(*spec)),
                     self.threads,
+                    self.census_threads,
                 );
                 giant_row.push(fmt_float(point.giant_fraction));
                 conn_row.push(fmt_float(point.connectivity));
@@ -314,6 +331,7 @@ mod tests {
             12,
             7,
             2,
+            1,
         );
         let node = measure_mesh_point_with_model(
             &faultnet_faultmodel::BernoulliNodes::new(),
@@ -321,6 +339,7 @@ mod tests {
             8,
             12,
             7,
+            2,
             2,
         );
         assert!(edge.connectivity_rate > 0.0);
@@ -341,6 +360,7 @@ mod tests {
             6,
             3,
             2,
+            1,
         );
         let node = measure_hypercube_point_with_model(
             &faultnet_faultmodel::BernoulliNodes::new(),
@@ -348,6 +368,7 @@ mod tests {
             0.9,
             6,
             3,
+            2,
             2,
         );
         // At p = 0.9 the edge-fault cube is essentially always connected;

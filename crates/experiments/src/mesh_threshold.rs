@@ -7,7 +7,9 @@
 
 use faultnet_analysis::sweep::Sweep;
 use faultnet_analysis::table::{fmt_float, Table};
-use faultnet_percolation::threshold::{estimate_threshold, giant_fraction_sweep};
+use faultnet_percolation::threshold::{
+    estimate_threshold_with_census_threads, giant_fraction_sweep_with_census_threads,
+};
 use faultnet_topology::torus::Torus;
 
 use crate::report::{Effort, ExperimentReport};
@@ -31,6 +33,11 @@ pub struct MeshThresholdExperiment {
     /// (each bisection is inherently sequential in `p`). 1 = sequential; the
     /// reported numbers are identical for every value.
     pub threads: usize,
+    /// Intra-census worker threads: each giant-fraction evaluation inside a
+    /// bisection runs its census on this many workers — the only
+    /// parallelism available *within* one bisection. 1 = sequential; the
+    /// reported numbers are identical for every value.
+    pub census_threads: usize,
 }
 
 impl MeshThresholdExperiment {
@@ -49,6 +56,7 @@ impl MeshThresholdExperiment {
             sweep_ps: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
             base_seed: 0xFA05,
             threads: 1,
+            census_threads: 1,
         }
     }
 
@@ -66,6 +74,13 @@ impl MeshThresholdExperiment {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the intra-census worker count (the `--census-threads` knob).
+    #[must_use]
+    pub fn with_census_threads(mut self, census_threads: usize) -> Self {
+        self.census_threads = census_threads.max(1);
         self
     }
 
@@ -97,12 +112,13 @@ impl MeshThresholdExperiment {
                     .base_seed
                     .wrapping_add((case_index as u64) << 20)
                     .wrapping_add(side_index as u64);
-                estimate_threshold(
+                estimate_threshold_with_census_threads(
                     &torus,
                     self.target_fraction,
                     self.trials,
                     self.tolerance,
                     seed,
+                    self.census_threads,
                 )
             },
         );
@@ -127,11 +143,12 @@ impl MeshThresholdExperiment {
             // A giant-fraction sweep for the largest side of this dimension.
             let &largest = sides.last().expect("at least one side per case");
             let torus = Torus::new(*d, largest);
-            let sweep = giant_fraction_sweep(
+            let sweep = giant_fraction_sweep_with_census_threads(
                 &torus,
                 &self.sweep_ps,
                 self.trials,
                 self.base_seed.wrapping_add(777 + case_index as u64),
+                self.census_threads,
             );
             let mut sweep_table = Table::new(["p", "giant fraction"]).with_title(format!(
                 "giant fraction sweep, d = {d}, torus side {largest}"
@@ -149,6 +166,7 @@ impl MeshThresholdExperiment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faultnet_percolation::threshold::estimate_threshold;
 
     #[test]
     fn two_dimensional_estimate_is_near_one_half() {

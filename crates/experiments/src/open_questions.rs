@@ -50,8 +50,9 @@ pub struct FamilyPoint {
 }
 
 /// Measures one family at one probability, fanning both the component
-/// censuses and the conditioned routing trials across `threads` workers
-/// (1 = sequential; the result is identical either way).
+/// censuses and the conditioned routing trials across `threads` workers,
+/// and each individual census across `census_threads` workers
+/// (1 = sequential; the result is identical for every value of both).
 ///
 /// Every candidate family has a closed-form `Topology::edge_index`, so the
 /// per-instance [`BitsetSample`] always materialises as a true bitset
@@ -63,12 +64,13 @@ pub fn measure_family_point<T: Topology + Clone + Sync>(
     trials: u32,
     base_seed: u64,
     threads: usize,
+    census_threads: usize,
 ) -> FamilyPoint {
     let giant_total: f64 = Sweep::over(0..trials)
         .run_parallel(threads.max(1), |&t| {
             let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
             let sample = BitsetSample::from_config(graph, &cfg);
-            ComponentCensus::compute(graph, &sample).giant_fraction()
+            ComponentCensus::compute_parallel(graph, &sample, census_threads).giant_fraction()
         })
         .into_iter()
         .map(|point| point.value)
@@ -104,6 +106,9 @@ pub struct OpenQuestionsExperiment {
     /// Worker threads (1 = sequential; the reported numbers are identical
     /// for every value).
     pub threads: usize,
+    /// Intra-census worker threads (1 = sequential census; the reported
+    /// numbers are identical for every value).
+    pub census_threads: usize,
 }
 
 impl OpenQuestionsExperiment {
@@ -119,6 +124,7 @@ impl OpenQuestionsExperiment {
             trials: effort.pick(6, 30),
             base_seed: 0xFA09,
             threads: 1,
+            census_threads: 1,
         }
     }
 
@@ -136,6 +142,13 @@ impl OpenQuestionsExperiment {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the intra-census worker count (the `--census-threads` knob).
+    #[must_use]
+    pub fn with_census_threads(mut self, census_threads: usize) -> Self {
+        self.census_threads = census_threads.max(1);
         self
     }
 
@@ -168,6 +181,7 @@ impl OpenQuestionsExperiment {
                     .wrapping_add(seed_offset)
                     .wrapping_add(pi as u64 * 131),
                 self.threads,
+                self.census_threads,
             );
             table.push_row([
                 format!("{p:.2}"),
@@ -243,7 +257,7 @@ mod tests {
     #[test]
     fn family_point_fields_are_sane() {
         let g = DeBruijn::new(7);
-        let point = measure_family_point(&g, 0.7, 5, 1, 2);
+        let point = measure_family_point(&g, 0.7, 5, 1, 2, 2);
         assert!((0.0..=1.0).contains(&point.giant_fraction));
         assert!((0.0..=1.0).contains(&point.pair_connectivity));
         assert!(point.normalized_flood_cost.is_nan() || point.normalized_flood_cost <= 1.0);
@@ -252,8 +266,8 @@ mod tests {
     #[test]
     fn giant_fraction_grows_with_p() {
         let g = ShuffleExchange::new(8);
-        let low = measure_family_point(&g, 0.3, 5, 2, 1);
-        let high = measure_family_point(&g, 0.9, 5, 2, 1);
+        let low = measure_family_point(&g, 0.3, 5, 2, 1, 1);
+        let high = measure_family_point(&g, 0.9, 5, 2, 1, 2);
         assert!(high.giant_fraction > low.giant_fraction);
     }
 

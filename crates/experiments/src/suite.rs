@@ -32,13 +32,15 @@ pub struct RegisteredExperiment {
     pub binary: &'static str,
     /// One-line description (paper result or scenario).
     pub title: &'static str,
-    run: fn(Effort, usize) -> ExperimentReport,
+    run: fn(Effort, usize, usize) -> ExperimentReport,
 }
 
 impl RegisteredExperiment {
-    /// Runs the experiment at the given effort across `threads` workers.
-    pub fn run(&self, effort: Effort, threads: usize) -> ExperimentReport {
-        (self.run)(effort, threads)
+    /// Runs the experiment at the given effort across `threads` trial
+    /// workers and `census_threads` intra-census workers. Both knobs are
+    /// pure wall-clock levers: the report is a function of `effort` alone.
+    pub fn run(&self, effort: Effort, threads: usize, census_threads: usize) -> ExperimentReport {
+        (self.run)(effort, threads, census_threads)
     }
 }
 
@@ -53,8 +55,11 @@ pub fn registry() -> Vec<RegisteredExperiment> {
                 id: $id,
                 binary: $binary,
                 title: $title,
-                run: |effort, threads| {
-                    <$ty>::with_effort(effort).with_threads(threads).run()
+                run: |effort, threads, census_threads| {
+                    <$ty>::with_effort(effort)
+                        .with_threads(threads)
+                        .with_census_threads(census_threads)
+                        .run()
                 },
             }),+]
         };
@@ -75,14 +80,20 @@ pub fn registry() -> Vec<RegisteredExperiment> {
 }
 
 /// Runs every registered experiment at the given effort across `threads`
-/// workers, in registry order, and returns the reports.
+/// trial workers and `census_threads` intra-census workers, in registry
+/// order, and returns the reports.
 ///
 /// The reported numbers are a pure function of `effort` (each experiment
-/// bakes in its base seed); `threads` only changes wall-clock time.
-pub fn run_all_reports(effort: Effort, threads: usize) -> Vec<ExperimentReport> {
+/// bakes in its base seed); `threads` and `census_threads` only change
+/// wall-clock time.
+pub fn run_all_reports(
+    effort: Effort,
+    threads: usize,
+    census_threads: usize,
+) -> Vec<ExperimentReport> {
     registry()
         .iter()
-        .map(|experiment| experiment.run(effort, threads))
+        .map(|experiment| experiment.run(effort, threads, census_threads))
         .collect()
 }
 

@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use faultnet_percolation::PercolationConfig;
 use faultnet_topology::{EdgeId, Topology, VertexId};
 
-use crate::{FaultInstance, FaultModel};
+use crate::{FaultInstance, FaultModel, PairPlacement};
 
 /// An adversary that severs a budget of `k` edges, placed greedily on
 /// cut-heavy positions near the routed source–target pair.
@@ -137,6 +137,14 @@ impl FaultModel for AdversarialBudget {
         FaultInstance::from_sampler(config.sampler())
             .with_severed_edges(self.severed_edges(graph, pair))
     }
+
+    /// The greedy cut placement is seed-independent — a pure function of
+    /// `(graph, pair, budget)` — so it is exactly the work a measurement
+    /// loop should hoist: the harness computes it once per measurement and
+    /// rebuilds only the Bernoulli background per trial.
+    fn pair_placement(&self, graph: &dyn Topology, pair: (VertexId, VertexId)) -> PairPlacement {
+        PairPlacement::SeveredEdges(self.severed_edges(graph, pair))
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +218,28 @@ mod tests {
     #[test]
     fn name_carries_the_budget() {
         assert_eq!(AdversarialBudget::new(7).name(), "adversarial-budget(k=7)");
+    }
+
+    #[test]
+    fn cached_placement_reproduces_the_per_trial_instance() {
+        // The placement-cache contract: an instance rebuilt from the hoisted
+        // placement is edge-for-edge the instance computed from scratch, for
+        // every seed the measurement loop will use.
+        let mesh = Mesh::new(2, 8);
+        let pair = mesh.canonical_pair();
+        let model = AdversarialBudget::new(3);
+        let placement = model.pair_placement(&mesh, pair);
+        assert_eq!(
+            placement,
+            PairPlacement::SeveredEdges(model.severed_edges(&mesh, pair))
+        );
+        for seed in 0..8u64 {
+            let cfg = PercolationConfig::new(0.7, seed);
+            let cached = model.instance_from_placement(&placement, &mesh, cfg, pair);
+            let fresh = model.instance(&mesh, cfg, Some(pair));
+            for e in mesh.edges() {
+                assert_eq!(cached.is_open(e), fresh.is_open(e), "seed {seed}, edge {e}");
+            }
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use faultnet_faultmodel::{
     AdversarialBudget, BernoulliEdges, BernoulliNodes, CorrelatedRegions, FaultModel,
-    FaultModelSpec,
+    FaultModelSpec, PairPlacement,
 };
 use faultnet_percolation::sample::{BitsetSample, EdgeStates, SampleBackend};
 use faultnet_percolation::PercolationConfig;
@@ -136,6 +136,94 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The placement-cache contract: for every model and family, an
+    /// instance rebuilt from the hoisted [`PairPlacement`] is edge-for-edge
+    /// the instance computed from scratch. This is what lets the harness
+    /// compute the adversary's greedy placement once per measurement
+    /// instead of once per trial without changing a single number.
+    #[test]
+    fn pair_placement_reproduces_the_fresh_instance(
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PercolationConfig::new(p, seed);
+        for graph in family_zoo() {
+            let graph = graph.as_ref();
+            let pair = graph.canonical_pair();
+            for model in all_models() {
+                let placement = model.pair_placement(graph, pair);
+                let cached = model.instance_from_placement(&placement, graph, cfg, pair);
+                let fresh = model.instance(graph, cfg, Some(pair));
+                for e in graph.edges() {
+                    prop_assert_eq!(
+                        cached.is_open(e),
+                        fresh.is_open(e),
+                        "{} cached placement diverged on {} at {}",
+                        model.name(),
+                        graph.name(),
+                        e
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The trait contract's pair default: `instance(.., None)` equals
+/// `instance(.., Some(canonical_pair))` for every model and family. This
+/// is what lets pair-free consumers (the giant/connectivity scans) hoist
+/// placements with the canonical pair and still measure the `None`
+/// configuration exactly.
+#[test]
+fn absent_pair_defaults_to_the_canonical_pair() {
+    let cfg = PercolationConfig::new(0.55, 29);
+    for graph in family_zoo() {
+        let graph = graph.as_ref();
+        let pair = graph.canonical_pair();
+        for model in all_models() {
+            let implicit = model.instance(graph, cfg, None);
+            let explicit = model.instance(graph, cfg, Some(pair));
+            for e in graph.edges() {
+                assert_eq!(
+                    implicit.is_open(e),
+                    explicit.is_open(e),
+                    "{} distinguishes None from the canonical pair on {} at {}",
+                    model.name(),
+                    graph.name(),
+                    e
+                );
+            }
+        }
+    }
+}
+
+/// Only the adversary hoists work into its placement; the benign models
+/// have nothing seed-independent to cache.
+#[test]
+fn only_the_adversary_has_a_nontrivial_placement() {
+    let cube = Hypercube::new(5);
+    let pair = cube.canonical_pair();
+    for spec in FaultModelSpec::ALL {
+        let model = spec.build();
+        let placement = model.pair_placement(&cube, pair);
+        match spec {
+            FaultModelSpec::AdversarialBudget => {
+                let PairPlacement::SeveredEdges(severed) = &placement else {
+                    panic!("adversary must hoist its severed set");
+                };
+                assert_eq!(
+                    severed,
+                    &AdversarialBudget::default().severed_edges(&cube, pair)
+                );
+            }
+            _ => assert_eq!(placement, PairPlacement::None, "{spec}"),
         }
     }
 }

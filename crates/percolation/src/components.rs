@@ -5,20 +5,34 @@
 //! it. This module computes exact component structure for a given instance:
 //! the giant fraction, the component of a vertex, and the component size
 //! distribution.
+//!
+//! # Canonical labels and the parallel engine
+//!
+//! Component labels are *canonical*: the label of a component is the
+//! smallest vertex id it contains. Canonical labels are a pure function of
+//! the instance's partition — independent of edge iteration order, union
+//! order, or thread scheduling — which is what makes
+//! [`ComponentCensus::compute_parallel`] **bit-identical** to the sequential
+//! [`ComponentCensus::compute`] on every public accessor: both describe the
+//! same partition with the same labels, so every derived quantity (giant
+//! fraction, size distribution, `same_component`, …) agrees exactly, for
+//! every thread count. The zoo-wide property suite in
+//! `tests/census_equivalence.rs` asserts this accessor for accessor.
 
 use std::collections::HashMap;
 
-use faultnet_topology::{Topology, VertexId};
+use faultnet_topology::{EdgeId, Topology, VertexId};
 
 use crate::sample::EdgeStates;
-use crate::union_find::UnionFind;
+use crate::union_find::{AtomicUnionFind, UnionFind};
 
 /// The result of a full component census over one percolation instance.
 #[derive(Debug, Clone)]
 pub struct ComponentCensus {
-    /// Component label (root id) per vertex, indexed by vertex id.
+    /// Canonical component label (smallest member vertex id) per vertex,
+    /// indexed by vertex id.
     component_of: Vec<u64>,
-    /// Sizes keyed by component label.
+    /// Sizes keyed by canonical component label.
     sizes: HashMap<u64, u64>,
     num_vertices: u64,
 }
@@ -29,22 +43,110 @@ impl ComponentCensus {
     /// Runs in `O(|V| + |E| α(|V|))` time and `O(|V|)` memory, so it is meant
     /// for graphs whose vertex set fits comfortably in memory (everything the
     /// experiments use; the largest hypercubes have ~10⁶ vertices).
-    pub fn compute<T: Topology, S: EdgeStates>(graph: &T, states: &S) -> Self {
+    pub fn compute<T: Topology + ?Sized, S: EdgeStates>(graph: &T, states: &S) -> Self {
         let n = graph.num_vertices();
         let mut uf = UnionFind::new(n as usize);
         for v in graph.vertices() {
             for w in graph.neighbors(v) {
-                if v.0 < w.0 && states.is_open(faultnet_topology::EdgeId::new(v, w)) {
+                if v.0 < w.0 && states.is_open(EdgeId::new(v, w)) {
                     uf.union(v.0 as usize, w.0 as usize);
                 }
             }
         }
+        // Canonicalise: the first vertex (in ascending id order) seen with a
+        // given union-find root is the smallest member of that component, so
+        // it becomes the component's label. Roots are dense indices `< n`,
+        // so the root → label table is a Vec (sentinel = unseen), keeping
+        // the per-vertex fold hash-free on this hot path.
+        let mut canonical: Vec<u64> = vec![u64::MAX; n as usize];
         let mut component_of = Vec::with_capacity(n as usize);
         let mut sizes: HashMap<u64, u64> = HashMap::new();
         for v in 0..n {
-            let root = uf.find(v as usize) as u64;
-            component_of.push(root);
-            *sizes.entry(root).or_insert(0) += 1;
+            let root = uf.find(v as usize);
+            if canonical[root] == u64::MAX {
+                canonical[root] = v;
+            }
+            let label = canonical[root];
+            component_of.push(label);
+            *sizes.entry(label).or_insert(0) += 1;
+        }
+        ComponentCensus {
+            component_of,
+            sizes,
+            num_vertices: n,
+        }
+    }
+
+    /// Computes the same census as [`ComponentCensus::compute`], fanning the
+    /// edge scan across up to `threads` worker threads over one shared
+    /// lock-free [`AtomicUnionFind`].
+    ///
+    /// The vertex range is split into contiguous chunks, one scan per
+    /// worker; every worker unions the open edges it owns (edges are owned
+    /// by their lower endpoint) into the shared structure. Because the
+    /// concurrent unions always link the larger root under the smaller one,
+    /// the surviving root of every tree is the component's minimum vertex —
+    /// exactly the canonical label the sequential pass assigns — so the
+    /// result is **bit-identical** to `compute` for every thread count and
+    /// every interleaving: same labels, same sizes, same everything.
+    ///
+    /// `threads <= 1` (or a graph too small / too large for the concurrent
+    /// engine — fewer than two vertices, or more than `u32::MAX`) runs the
+    /// sequential pass directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faultnet_percolation::components::ComponentCensus;
+    /// use faultnet_percolation::PercolationConfig;
+    /// use faultnet_topology::hypercube::Hypercube;
+    ///
+    /// let cube = Hypercube::new(8);
+    /// let sampler = PercolationConfig::new(0.4, 7).sampler();
+    /// let sequential = ComponentCensus::compute(&cube, &sampler);
+    /// let parallel = ComponentCensus::compute_parallel(&cube, &sampler, 4);
+    /// assert_eq!(
+    ///     sequential.sizes_descending(),
+    ///     parallel.sizes_descending()
+    /// );
+    /// ```
+    pub fn compute_parallel<T, S>(graph: &T, states: &S, threads: usize) -> Self
+    where
+        T: Topology + Sync + ?Sized,
+        S: EdgeStates + Sync,
+    {
+        let n = graph.num_vertices();
+        let threads = threads.min(n as usize);
+        if threads <= 1 || n < 2 || n > u32::MAX as u64 {
+            return Self::compute(graph, states);
+        }
+        let uf = AtomicUnionFind::new(n as usize);
+        let chunk = n.div_ceil(threads as u64);
+        std::thread::scope(|scope| {
+            for t in 0..threads as u64 {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                let uf = &uf;
+                scope.spawn(move || {
+                    for v in lo..hi {
+                        let v = VertexId(v);
+                        for w in graph.neighbors(v) {
+                            if v.0 < w.0 && states.is_open(EdgeId::new(v, w)) {
+                                uf.union(v.0 as usize, w.0 as usize);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Roots of the atomic structure are already the canonical minima, so
+        // the fold needs no relabeling map.
+        let mut component_of = Vec::with_capacity(n as usize);
+        let mut sizes: HashMap<u64, u64> = HashMap::new();
+        for v in 0..n {
+            let label = uf.find(v as usize) as u64;
+            component_of.push(label);
+            *sizes.entry(label).or_insert(0) += 1;
         }
         ComponentCensus {
             component_of,
@@ -63,7 +165,8 @@ impl ComponentCensus {
         self.sizes.len()
     }
 
-    /// The label of the component containing `v`.
+    /// The canonical label of the component containing `v` (the smallest
+    /// vertex id in that component).
     ///
     /// # Panics
     ///
@@ -87,8 +190,12 @@ impl ComponentCensus {
         self.sizes.values().copied().max().unwrap_or(0)
     }
 
-    /// Fraction of all vertices lying in the largest component.
+    /// Fraction of all vertices lying in the largest component (0 for the
+    /// empty graph, which has no components at all).
     pub fn giant_fraction(&self) -> f64 {
+        if self.num_vertices == 0 {
+            return 0.0;
+        }
         self.largest_component_size() as f64 / self.num_vertices as f64
     }
 
@@ -199,6 +306,93 @@ mod tests {
             "giant fraction {}",
             census.giant_fraction()
         );
+    }
+
+    #[test]
+    fn empty_graph_census_is_well_defined() {
+        // Zero vertices: no components, no sizes, a 0.0 (not NaN) giant
+        // fraction, and no giant vertices.
+        use faultnet_topology::explicit::ExplicitGraph;
+        let empty = ExplicitGraph::new(0);
+        let census = ComponentCensus::compute(&empty, &FrozenSample::new());
+        assert_eq!(census.num_vertices(), 0);
+        assert_eq!(census.num_components(), 0);
+        assert_eq!(census.largest_component_size(), 0);
+        assert_eq!(census.giant_fraction(), 0.0, "0/0 must not be NaN");
+        assert_eq!(census.sizes_descending(), Vec::<u64>::new());
+        assert_eq!(census.second_largest_component_size(), 0);
+        assert!(census.giant_component_vertices().is_empty());
+        let parallel = ComponentCensus::compute_parallel(&empty, &FrozenSample::new(), 4);
+        assert_eq!(parallel.num_components(), 0);
+        assert_eq!(parallel.giant_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_vertex_graph_census() {
+        use faultnet_topology::explicit::ExplicitGraph;
+        let one = ExplicitGraph::new(1);
+        let census = ComponentCensus::compute(&one, &FrozenSample::new());
+        assert_eq!(census.num_components(), 1);
+        assert_eq!(census.largest_component_size(), 1);
+        assert_eq!(census.giant_fraction(), 1.0);
+        assert_eq!(census.sizes_descending(), vec![1]);
+        assert_eq!(census.second_largest_component_size(), 0);
+        assert_eq!(census.giant_component_vertices(), vec![VertexId(0)]);
+        assert!(census.in_giant(VertexId(0)));
+    }
+
+    #[test]
+    fn all_closed_instance_sizes_are_all_ones() {
+        let cube = Hypercube::new(4);
+        let sampler = PercolationConfig::new(0.0, 0).sampler();
+        let census = ComponentCensus::compute(&cube, &sampler);
+        assert_eq!(census.num_components(), 16);
+        assert_eq!(census.sizes_descending(), vec![1; 16]);
+        assert_eq!(census.second_largest_component_size(), 1);
+        // Every vertex is its own canonical label.
+        for v in 0..16 {
+            assert_eq!(census.component_of(VertexId(v)), v);
+        }
+    }
+
+    #[test]
+    fn labels_are_canonical_component_minima() {
+        let cube = Hypercube::new(7);
+        let sampler = PercolationConfig::new(0.3, 5).sampler();
+        let census = ComponentCensus::compute(&cube, &sampler);
+        for v in 0..cube.num_vertices() {
+            let label = census.component_of(VertexId(v));
+            assert!(label <= v, "label {label} exceeds member {v}");
+            assert_eq!(
+                census.component_of(VertexId(label)),
+                label,
+                "a component's label must be one of its own members"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_census_matches_sequential_on_labels_and_sizes() {
+        let cube = Hypercube::new(9);
+        for seed in [0u64, 3, 11] {
+            let sampler = PercolationConfig::new(0.35, seed).sampler();
+            let sequential = ComponentCensus::compute(&cube, &sampler);
+            for threads in [2usize, 4, 8] {
+                let parallel = ComponentCensus::compute_parallel(&cube, &sampler, threads);
+                assert_eq!(
+                    sequential.sizes_descending(),
+                    parallel.sizes_descending(),
+                    "seed {seed}, threads {threads}"
+                );
+                for v in 0..cube.num_vertices() {
+                    assert_eq!(
+                        sequential.component_of(VertexId(v)),
+                        parallel.component_of(VertexId(v)),
+                        "seed {seed}, threads {threads}, vertex {v}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

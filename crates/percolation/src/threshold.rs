@@ -20,13 +20,36 @@ use crate::PercolationConfig;
 ///
 /// Each instance is materialised once as a [`BitsetSample`] before the
 /// census, so the union-find pass reads bits rather than hashing every edge.
-pub fn mean_giant_fraction<T: Topology>(graph: &T, p: f64, trials: u32, base_seed: u64) -> f64 {
+/// Equivalent to [`mean_giant_fraction_with_census_threads`] with one census
+/// thread.
+pub fn mean_giant_fraction<T: Topology + Sync>(
+    graph: &T,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+) -> f64 {
+    mean_giant_fraction_with_census_threads(graph, p, trials, base_seed, 1)
+}
+
+/// Like [`mean_giant_fraction`], but each per-instance census runs on
+/// `census_threads` workers through
+/// [`ComponentCensus::compute_parallel`] — *intra*-instance parallelism,
+/// complementary to the harness's per-trial fan-out. The returned mean is
+/// identical for every `census_threads` value (the parallel census is
+/// bit-identical to the sequential one); only wall-clock time changes.
+pub fn mean_giant_fraction_with_census_threads<T: Topology + Sync>(
+    graph: &T,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+    census_threads: usize,
+) -> f64 {
     assert!(trials > 0, "at least one trial is required");
     let mut total = 0.0;
     for t in 0..trials {
         let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
         let sample = BitsetSample::from_config(graph, &cfg);
-        let census = ComponentCensus::compute(graph, &sample);
+        let census = ComponentCensus::compute_parallel(graph, &sample, census_threads);
         total += census.giant_fraction();
     }
     total / trials as f64
@@ -42,16 +65,34 @@ pub struct SweepPoint {
 }
 
 /// Evaluates the mean giant fraction at each probability in `ps`.
-pub fn giant_fraction_sweep<T: Topology>(
+pub fn giant_fraction_sweep<T: Topology + Sync>(
     graph: &T,
     ps: &[f64],
     trials: u32,
     base_seed: u64,
 ) -> Vec<SweepPoint> {
+    giant_fraction_sweep_with_census_threads(graph, ps, trials, base_seed, 1)
+}
+
+/// Like [`giant_fraction_sweep`], with each census on `census_threads`
+/// workers (the points are identical for every value).
+pub fn giant_fraction_sweep_with_census_threads<T: Topology + Sync>(
+    graph: &T,
+    ps: &[f64],
+    trials: u32,
+    base_seed: u64,
+    census_threads: usize,
+) -> Vec<SweepPoint> {
     ps.iter()
         .map(|&p| SweepPoint {
             p,
-            giant_fraction: mean_giant_fraction(graph, p, trials, base_seed),
+            giant_fraction: mean_giant_fraction_with_census_threads(
+                graph,
+                p,
+                trials,
+                base_seed,
+                census_threads,
+            ),
         })
         .collect()
 }
@@ -68,12 +109,32 @@ pub fn giant_fraction_sweep<T: Topology>(
 ///
 /// Panics if `target_fraction` is not in `(0, 1)` or `tolerance` is not
 /// positive.
-pub fn estimate_threshold<T: Topology>(
+pub fn estimate_threshold<T: Topology + Sync>(
     graph: &T,
     target_fraction: f64,
     trials: u32,
     tolerance: f64,
     base_seed: u64,
+) -> f64 {
+    estimate_threshold_with_census_threads(graph, target_fraction, trials, tolerance, base_seed, 1)
+}
+
+/// Like [`estimate_threshold`], with each giant-fraction evaluation's census
+/// on `census_threads` workers. The bisection is inherently sequential in
+/// `p`, so intra-census parallelism is the only lever on a single
+/// estimate's wall-clock time; the estimate itself is identical for every
+/// `census_threads` value.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`estimate_threshold`].
+pub fn estimate_threshold_with_census_threads<T: Topology + Sync>(
+    graph: &T,
+    target_fraction: f64,
+    trials: u32,
+    tolerance: f64,
+    base_seed: u64,
+    census_threads: usize,
 ) -> f64 {
     assert!(
         (0.0..1.0).contains(&target_fraction) && target_fraction > 0.0,
@@ -84,7 +145,9 @@ pub fn estimate_threshold<T: Topology>(
     let mut hi = 1.0f64;
     while hi - lo > tolerance {
         let mid = 0.5 * (lo + hi);
-        if mean_giant_fraction(graph, mid, trials, base_seed) >= target_fraction {
+        let fraction =
+            mean_giant_fraction_with_census_threads(graph, mid, trials, base_seed, census_threads);
+        if fraction >= target_fraction {
             hi = mid;
         } else {
             lo = mid;
@@ -143,6 +206,30 @@ mod tests {
         let est = estimate_threshold(&k, 0.2, 3, 0.005, 5);
         assert!(est < 0.05, "G(n,p) threshold estimate {est} too large");
         assert!(est > 0.001, "G(n,p) threshold estimate {est} too small");
+    }
+
+    #[test]
+    fn census_thread_count_never_changes_the_numbers() {
+        // The intra-census knob is a pure wall-clock lever: means, sweeps,
+        // and bisection estimates are bit-identical for every value.
+        let cube = Hypercube::new(8);
+        let base = mean_giant_fraction(&cube, 0.3, 4, 17);
+        for census_threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                base,
+                mean_giant_fraction_with_census_threads(&cube, 0.3, 4, 17, census_threads),
+                "census_threads {census_threads}"
+            );
+        }
+        let torus = Torus::new(2, 12);
+        assert_eq!(
+            estimate_threshold(&torus, 0.25, 2, 0.05, 3),
+            estimate_threshold_with_census_threads(&torus, 0.25, 2, 0.05, 3, 4),
+        );
+        assert_eq!(
+            giant_fraction_sweep(&torus, &[0.2, 0.6], 2, 5),
+            giant_fraction_sweep_with_census_threads(&torus, &[0.2, 0.6], 2, 5, 3),
+        );
     }
 
     #[test]

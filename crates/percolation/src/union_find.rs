@@ -1,8 +1,20 @@
-//! Disjoint-set (union–find) structure used by the component census.
+//! Disjoint-set (union–find) structures used by the component census.
 //!
-//! Weighted union by size with path compression; amortised near-constant
-//! operations, which keeps whole-graph component censuses linear in the
-//! number of edges.
+//! Two implementations share this module:
+//!
+//! * [`UnionFind`] — the sequential structure: weighted union by size with
+//!   path compression; amortised near-constant operations, which keeps
+//!   whole-graph component censuses linear in the number of edges.
+//! * [`AtomicUnionFind`] — a lock-free concurrent structure (`AtomicU32`
+//!   parents, CAS linking, path halving) backing
+//!   [`crate::components::ComponentCensus::compute_parallel`]. Unions always
+//!   link the *larger* root under the *smaller* one, so whatever order
+//!   concurrent workers interleave their unions in, the final root of every
+//!   tree is the minimum element of its set — a canonical, scheduling-
+//!   independent representative. This is what lets the parallel census
+//!   relabel to output bit-identical to the sequential pass.
+
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A union–find structure over the dense universe `0 .. len`.
 ///
@@ -120,6 +132,145 @@ impl UnionFind {
     }
 }
 
+/// A lock-free concurrent union–find over the dense universe `0 .. len`.
+///
+/// Parents are `AtomicU32`s; [`AtomicUnionFind::union`] links roots with a
+/// compare-and-swap and [`AtomicUnionFind::find`] performs CAS-guarded path
+/// halving, so any number of threads may call both concurrently with no
+/// locks (the structure contains no `unsafe` code — the percolation crate
+/// forbids it).
+///
+/// # Canonical roots
+///
+/// [`AtomicUnionFind::union`] always links the larger of the two roots under
+/// the smaller one, and path halving only ever replaces a parent pointer by
+/// a transitive ancestor, so the invariant `parent[x] <= x` holds at all
+/// times. Consequently the root of every tree is the *minimum* element of
+/// its set: once all unions have completed, [`AtomicUnionFind::find`]
+/// returns the same canonical representative no matter how the concurrent
+/// unions were scheduled. The parallel component census leans on this —
+/// its labels are scheduling-independent by construction, not by an extra
+/// relabeling pass.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_percolation::union_find::AtomicUnionFind;
+///
+/// let uf = AtomicUnionFind::new(5);
+/// std::thread::scope(|scope| {
+///     scope.spawn(|| uf.union(0, 1));
+///     scope.spawn(|| uf.union(3, 4));
+/// });
+/// assert!(uf.same_set(0, 1));
+/// assert!(!uf.same_set(1, 3));
+/// assert_eq!(uf.find(4), 3); // canonical root = minimum of the set
+/// ```
+#[derive(Debug)]
+pub struct AtomicUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl AtomicUnionFind {
+    /// Creates a structure with `len` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds `u32::MAX` (the parallel census falls back to
+    /// the sequential pass before that point).
+    pub fn new(len: usize) -> Self {
+        assert!(
+            len <= u32::MAX as usize,
+            "AtomicUnionFind universe of {len} elements exceeds u32 indices"
+        );
+        AtomicUnionFind {
+            parent: (0..len as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The canonical representative (minimum element) of `x`'s set.
+    ///
+    /// Performs path halving: each step CASes `parent[x]` from its current
+    /// value to its grandparent, shortening the path for later queries. A
+    /// failed CAS just means another thread already shortened (or linked)
+    /// this node; the walk continues from the freshest value either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element {x} out of range");
+        let mut x = x as u32;
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Acquire);
+            if p == x {
+                return x as usize;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp == p {
+                return p as usize;
+            }
+            // Path halving; a lost race only costs a retry.
+            let _ = self.parent[x as usize].compare_exchange(
+                p,
+                gp,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            x = gp;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if this call
+    /// performed the link (under concurrency: the sets were distinct at the
+    /// linearization point of this call's successful CAS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of range.
+    pub fn union(&self, a: usize, b: usize) -> bool {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        loop {
+            if ra == rb {
+                return false;
+            }
+            // Link the larger root under the smaller: parent pointers only
+            // ever decrease, so the root of a tree is its minimum element.
+            let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+            match self.parent[hi].compare_exchange(
+                hi as u32,
+                lo as u32,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                // `hi` stopped being a root (another thread linked it);
+                // refresh both roots and retry.
+                Err(_) => {
+                    ra = self.find(hi);
+                    rb = self.find(lo);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if `a` and `b` are currently in the same set.
+    pub fn same_set(&self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +335,74 @@ mod tests {
     fn find_out_of_range_panics() {
         let mut uf = UnionFind::new(3);
         let _ = uf.find(3);
+    }
+
+    #[test]
+    fn atomic_roots_are_set_minima() {
+        let uf = AtomicUnionFind::new(10);
+        assert_eq!(uf.len(), 10);
+        assert!(!uf.is_empty());
+        assert!(uf.union(7, 3));
+        assert!(uf.union(3, 9));
+        assert!(!uf.union(9, 7));
+        assert_eq!(uf.find(7), 3);
+        assert_eq!(uf.find(9), 3);
+        assert!(uf.same_set(7, 9));
+        assert!(!uf.same_set(7, 0));
+    }
+
+    #[test]
+    fn atomic_empty_universe() {
+        let uf = AtomicUnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn atomic_find_out_of_range_panics() {
+        let uf = AtomicUnionFind::new(3);
+        let _ = uf.find(3);
+    }
+
+    #[test]
+    fn atomic_concurrent_unions_agree_with_sequential() {
+        // A ladder of unions split across threads must produce the same
+        // partition (and the same canonical min-roots) as the sequential
+        // structure fed every union.
+        let n = 512;
+        let pairs: Vec<(usize, usize)> = (0..n - 1)
+            .filter(|i| i % 7 != 0)
+            .map(|i| (i, i + 1))
+            .collect();
+        let atomic = AtomicUnionFind::new(n);
+        std::thread::scope(|scope| {
+            for chunk in pairs.chunks(pairs.len().div_ceil(4)) {
+                let atomic = &atomic;
+                scope.spawn(move || {
+                    for &(a, b) in chunk {
+                        atomic.union(a, b);
+                    }
+                });
+            }
+        });
+        let mut sequential = UnionFind::new(n);
+        for &(a, b) in &pairs {
+            sequential.union(a, b);
+        }
+        for v in 0..n {
+            // The atomic root is canonical (the set minimum); compare
+            // partitions by mapping the sequential roots through their minima.
+            let atomic_root = atomic.find(v);
+            assert_eq!(atomic_root, atomic.find(atomic_root), "root is stable");
+            assert!(atomic_root <= v, "roots are set minima");
+            for w in [0, v / 2, n - 1] {
+                assert_eq!(
+                    atomic.same_set(v, w),
+                    sequential.connected(v, w),
+                    "partition diverged at ({v}, {w})"
+                );
+            }
+        }
     }
 }

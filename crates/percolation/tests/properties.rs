@@ -206,6 +206,79 @@ proptest! {
         prop_assert_eq!(total, 20);
     }
 
+    /// Each successful union merges exactly two sets into one; a failed
+    /// union (already connected) changes nothing. So `num_sets` decreases
+    /// by exactly 1 per `union` that returns `true` and is otherwise
+    /// untouched — for *every* operation sequence, not just the hand-picked
+    /// ones of the unit tests.
+    #[test]
+    fn union_find_set_count_tracks_successful_unions(
+        ops in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+    ) {
+        let mut uf = UnionFind::new(24);
+        for (a, b) in &ops {
+            let before = uf.num_sets();
+            let was_distinct = !uf.connected(*a, *b);
+            let merged = uf.union(*a, *b);
+            prop_assert_eq!(merged, was_distinct);
+            let expected = if merged { before - 1 } else { before };
+            prop_assert_eq!(uf.num_sets(), expected);
+        }
+        // The invariant composes: sets lost = successful unions.
+        prop_assert!(uf.num_sets() >= 1 || uf.is_empty());
+    }
+
+    /// `find` is idempotent (a root's root is itself), stable across the
+    /// path compression it triggers, and `connected` is transitive.
+    #[test]
+    fn union_find_find_is_idempotent_and_connected_transitive(
+        ops in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+        probes in proptest::collection::vec((0usize..24, 0usize..24, 0usize..24), 0..20),
+    ) {
+        let mut uf = UnionFind::new(24);
+        for (a, b) in &ops {
+            uf.union(*a, *b);
+        }
+        for i in 0..24 {
+            let root = uf.find(i);
+            // Idempotent after the path compression the first find performed.
+            prop_assert_eq!(uf.find(root), root);
+            prop_assert_eq!(uf.find(i), root);
+            // The representative is connected to its member.
+            prop_assert!(uf.connected(i, root));
+        }
+        for (a, b, c) in probes {
+            if uf.connected(a, b) && uf.connected(b, c) {
+                prop_assert!(uf.connected(a, c), "transitivity failed at ({a}, {b}, {c})");
+            }
+        }
+    }
+
+    /// The lock-free structure agrees with the sequential one on the final
+    /// partition for every operation sequence (single-threaded here; the
+    /// concurrent interleavings are covered by the unit test in
+    /// `union_find.rs` and the zoo-wide census equivalence suite).
+    #[test]
+    fn atomic_union_find_partition_matches_sequential(
+        ops in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+    ) {
+        use faultnet_percolation::union_find::AtomicUnionFind;
+        let mut sequential = UnionFind::new(24);
+        let atomic = AtomicUnionFind::new(24);
+        for (a, b) in &ops {
+            prop_assert_eq!(sequential.union(*a, *b), atomic.union(*a, *b));
+        }
+        for i in 0..24 {
+            // The atomic root is the canonical minimum of its set.
+            let root = atomic.find(i);
+            prop_assert!(root <= i);
+            prop_assert_eq!(atomic.find(root), root);
+            for j in 0..24 {
+                prop_assert_eq!(sequential.connected(i, j), atomic.same_set(i, j));
+            }
+        }
+    }
+
     #[test]
     fn survival_probability_is_monotone(p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };

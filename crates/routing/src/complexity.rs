@@ -207,6 +207,7 @@ pub struct ComplexityHarness<T> {
     graph: T,
     config: PercolationConfig,
     probe_budget: Option<u64>,
+    census_threads: usize,
 }
 
 impl<T: Topology> ComplexityHarness<T> {
@@ -217,6 +218,7 @@ impl<T: Topology> ComplexityHarness<T> {
             graph,
             config,
             probe_budget: None,
+            census_threads: 1,
         }
     }
 
@@ -227,6 +229,26 @@ impl<T: Topology> ComplexityHarness<T> {
     #[must_use]
     pub fn with_probe_budget(mut self, budget: u64) -> Self {
         self.probe_budget = Some(budget);
+        self
+    }
+
+    /// Checks each trial's conditioning event `{u ∼ v}` with the parallel
+    /// component census ([`ComponentCensus::compute_parallel`] on `threads`
+    /// workers) instead of the sequential BFS.
+    ///
+    /// The two checks answer identically — the census's `same_component` is
+    /// connectivity — so this is a pure wall-clock knob: every recorded
+    /// number is bit-identical for every value (property-tested). Worth
+    /// switching on for instances large enough that a single connectivity
+    /// check dominates a trial (the n ≥ 16 hypercube grids); for small
+    /// graphs the early-exiting BFS is the faster conditioning check.
+    /// `threads <= 1` keeps the BFS.
+    ///
+    /// [`ComponentCensus::compute_parallel`]:
+    /// faultnet_percolation::components::ComponentCensus::compute_parallel
+    #[must_use]
+    pub fn with_census_threads(mut self, threads: usize) -> Self {
+        self.census_threads = threads.max(1);
         self
     }
 
@@ -274,6 +296,27 @@ impl<T: Topology> ComplexityHarness<T> {
         }
     }
 
+    /// The conditioning check `{u ∼ v}`: an early-exiting BFS by default, or
+    /// the parallel component census when
+    /// [`ComplexityHarness::with_census_threads`] raised the knob above 1.
+    /// The two agree on every instance — connectivity is connectivity — so
+    /// the choice never changes a recorded number.
+    fn pair_connected<S>(&self, states: &S, u: VertexId, v: VertexId) -> bool
+    where
+        T: Sync,
+        S: EdgeStates + Sync,
+    {
+        if self.census_threads <= 1 {
+            return connected(&self.graph, states, u, v);
+        }
+        faultnet_percolation::components::ComponentCensus::compute_parallel(
+            &self.graph,
+            states,
+            self.census_threads,
+        )
+        .same_component(u, v)
+    }
+
     /// Runs a single conditioned trial with the given seed, or `None` if the
     /// conditioning event `{u ∼ v}` fails in that instance.
     pub fn run_trial<R>(
@@ -284,11 +327,12 @@ impl<T: Topology> ComplexityHarness<T> {
         seed: u64,
     ) -> Option<TrialResult>
     where
+        T: Sync,
         R: Router<T, faultnet_percolation::EdgeSampler>,
     {
         let cfg = self.config.with_seed(seed);
         let sampler = cfg.sampler();
-        if !connected(&self.graph, &sampler, u, v) {
+        if !self.pair_connected(&sampler, u, v) {
             return None;
         }
         Some(self.classify_trial(router, &sampler, u, v))
@@ -307,12 +351,39 @@ impl<T: Topology> ComplexityHarness<T> {
         seed: u64,
     ) -> Option<TrialResult>
     where
+        T: Sync,
         M: FaultModel + ?Sized,
         R: Router<T, faultnet_faultmodel::FaultInstance>,
     {
         let cfg = self.config.with_seed(seed);
         let instance = model.instance(&self.graph, cfg, Some((u, v)));
-        if !connected(&self.graph, &instance, u, v) {
+        if !self.pair_connected(&instance, u, v) {
+            return None;
+        }
+        Some(self.classify_trial(router, &instance, u, v))
+    }
+
+    /// One conditioned trial drawing its instance from a hoisted
+    /// [`PairPlacement`] (see [`FaultModel::pair_placement`]) instead of
+    /// asking the model from scratch. Shared by the sequential and parallel
+    /// model measurements so both amortise identically.
+    fn run_trial_with_placement<M, R>(
+        &self,
+        model: &M,
+        placement: &faultnet_faultmodel::PairPlacement,
+        router: &R,
+        u: VertexId,
+        v: VertexId,
+        seed: u64,
+    ) -> Option<TrialResult>
+    where
+        T: Sync,
+        M: FaultModel + ?Sized,
+        R: Router<T, faultnet_faultmodel::FaultInstance>,
+    {
+        let cfg = self.config.with_seed(seed);
+        let instance = model.instance_from_placement(placement, &self.graph, cfg, (u, v));
+        if !self.pair_connected(&instance, u, v) {
             return None;
         }
         Some(self.classify_trial(router, &instance, u, v))
@@ -328,6 +399,7 @@ impl<T: Topology> ComplexityHarness<T> {
     /// and should fail loudly in experiments).
     pub fn measure<R>(&self, router: &R, u: VertexId, v: VertexId, trials: u32) -> ComplexityStats
     where
+        T: Sync,
         R: Router<T, faultnet_percolation::EdgeSampler>,
     {
         let mut stats = ComplexityStats::empty(router.name(), trials);
@@ -413,6 +485,12 @@ impl<T: Topology> ComplexityHarness<T> {
     /// Measuring `BernoulliEdges` through this method reproduces
     /// [`ComplexityHarness::measure`] exactly (the model delegates to the
     /// same pure `(seed, edge)` function; the tests assert equality).
+    /// The seed-independent part of the model's placement (the adversary's
+    /// greedy cut set) is computed **once** per measurement through
+    /// [`FaultModel::pair_placement`] and reused across all `trials` — by
+    /// the placement contract this changes nothing but wall-clock time (a
+    /// regression test asserts byte-identity against the uncached per-trial
+    /// path).
     pub fn measure_with_model<M, R>(
         &self,
         model: &M,
@@ -422,13 +500,17 @@ impl<T: Topology> ComplexityHarness<T> {
         trials: u32,
     ) -> ComplexityStats
     where
+        T: Sync,
         M: FaultModel + ?Sized,
         R: Router<T, faultnet_faultmodel::FaultInstance>,
     {
+        let placement = model.pair_placement(&self.graph, (u, v));
         let mut stats = ComplexityStats::empty(router.name(), trials);
         for t in 0..trials {
             let seed = self.config.seed().wrapping_add(t as u64);
-            if let Some(result) = self.run_trial_with_model(model, router, u, v, seed) {
+            if let Some(result) =
+                self.run_trial_with_placement(model, &placement, router, u, v, seed)
+            {
                 stats.record(result);
             }
         }
@@ -468,9 +550,11 @@ impl<T: Topology> ComplexityHarness<T> {
         if threads == 1 {
             return self.measure_with_model(model, router, u, v, trials);
         }
+        // Hoist the seed-independent placement once, shared by all workers.
+        let placement = model.pair_placement(&self.graph, (u, v));
         let per_trial = Sweep::over(0..trials).run_parallel(threads, |&t| {
             let seed = self.config.seed().wrapping_add(t as u64);
-            self.run_trial_with_model(model, router, u, v, seed)
+            self.run_trial_with_placement(model, &placement, router, u, v, seed)
         });
         let mut stats = ComplexityStats::empty(router.name(), trials);
         for point in per_trial {
@@ -680,6 +764,76 @@ mod tests {
             harness.measure_with_model(&AdversarialBudget::new(5), &FloodRouter::new(), u, v, 8);
         assert_eq!(stats.successes(), 8);
         assert_eq!(stats.connectivity_rate(), 1.0);
+    }
+
+    #[test]
+    fn census_conditioning_is_bit_identical_to_bfs_conditioning() {
+        // The census_threads knob swaps the conditioning check from BFS to
+        // the parallel census; both decide exactly the same connectivity
+        // event, so measurements must not move by a bit — for the Bernoulli
+        // path and for every fault model.
+        use faultnet_faultmodel::FaultModelSpec;
+        let cube = Hypercube::new(8);
+        let baseline = ComplexityHarness::new(cube, PercolationConfig::new(0.45, 9));
+        let (u, v) = cube.canonical_pair();
+        let bfs = baseline.measure(&FloodRouter::new(), u, v, 14);
+        assert!(bfs.conditioned_trials() > 0, "vacuous check");
+        for census_threads in [2usize, 4] {
+            let censused = baseline.clone().with_census_threads(census_threads);
+            assert_eq!(
+                bfs,
+                censused.measure(&FloodRouter::new(), u, v, 14),
+                "census_threads {census_threads} (sequential measure)"
+            );
+            assert_eq!(
+                bfs,
+                censused.measure_parallel(&FloodRouter::new(), u, v, 14, 2),
+                "census_threads {census_threads} (parallel measure)"
+            );
+        }
+        for spec in FaultModelSpec::ALL {
+            let model = spec.build();
+            let bfs = baseline.measure_with_model(&model, &FloodRouter::new(), u, v, 10);
+            let censused = baseline.clone().with_census_threads(4);
+            assert_eq!(
+                bfs,
+                censused.measure_with_model(&model, &FloodRouter::new(), u, v, 10),
+                "{spec} diverged under census conditioning"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_adversary_placement_is_byte_identical_to_per_trial_recomputation() {
+        // measure_with_model hoists the adversary's greedy placement once
+        // per measurement; the uncached path recomputes it inside every
+        // run_trial_with_model call. The two must agree byte for byte.
+        use faultnet_faultmodel::AdversarialBudget;
+        let cube = Hypercube::new(7);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.75, 13));
+        let (u, v) = cube.canonical_pair();
+        let model = AdversarialBudget::new(3);
+        let trials = 12;
+        let cached = harness.measure_with_model(&model, &FloodRouter::new(), u, v, trials);
+        let router = FloodRouter::new();
+        let mut uncached = ComplexityStats::empty(
+            Router::<Hypercube, faultnet_faultmodel::FaultInstance>::name(&router),
+            trials,
+        );
+        for t in 0..trials {
+            let seed = harness.config().seed().wrapping_add(t as u64);
+            if let Some(result) =
+                harness.run_trial_with_model(&model, &FloodRouter::new(), u, v, seed)
+            {
+                uncached.record(result);
+            }
+        }
+        assert_eq!(cached, uncached);
+        assert!(cached.conditioned_trials() > 0, "vacuous comparison");
+        // And the parallel path shares the same hoisted placement.
+        let parallel =
+            harness.measure_parallel_with_model(&model, &FloodRouter::new(), u, v, trials, 3);
+        assert_eq!(cached, parallel);
     }
 
     #[test]

@@ -38,8 +38,15 @@ fn main() {
     let mut curve = Vec::new();
     let mut log_curve = Vec::new();
     for (i, &alpha) in alphas.iter().enumerate() {
-        let point =
-            measure_alpha_point(dimension, alpha, trials, budget, 31_000 + i as u64, threads);
+        let point = measure_alpha_point(
+            dimension,
+            alpha,
+            trials,
+            budget,
+            31_000 + i as u64,
+            threads,
+            1,
+        );
         table.push_row([
             format!("{alpha:.1}"),
             format!("{:.4}", point.p),

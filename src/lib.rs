@@ -57,12 +57,13 @@ pub mod prelude {
     };
     pub use faultnet_faultmodel::{
         AdversarialBudget, BernoulliEdges, BernoulliNodes, CorrelatedRegions, FaultInstance,
-        FaultModel, FaultModelSpec,
+        FaultModel, FaultModelSpec, PairPlacement,
     };
     pub use faultnet_percolation::{
         components::ComponentCensus,
         sample::{BitsetSample, EdgeSampler},
         subgraph::PercolatedGraph,
+        union_find::{AtomicUnionFind, UnionFind},
         PercolationConfig,
     };
     pub use faultnet_routing::{

@@ -24,8 +24,8 @@ use faultnet::experiments::{
 /// every fault model's parallel merge.
 #[test]
 fn run_all_quick_output_is_byte_identical_across_thread_counts() {
-    let render_suite = |threads: usize| -> (String, String) {
-        let reports = run_all_reports(Effort::Quick, threads);
+    let render_suite = |threads: usize, census_threads: usize| -> (String, String) {
+        let reports = run_all_reports(Effort::Quick, threads, census_threads);
         let text: String = reports
             .iter()
             .map(|r| r.render())
@@ -38,16 +38,30 @@ fn run_all_quick_output_is_byte_identical_across_thread_counts() {
             .join("\n");
         (text, markdown)
     };
-    let baseline = render_suite(1);
+    let baseline = render_suite(1, 1);
     assert_eq!(
         baseline,
-        render_suite(2),
+        render_suite(2, 1),
         "threads=2 diverged from threads=1"
     );
     assert_eq!(
         baseline,
-        render_suite(4),
+        render_suite(4, 1),
         "threads=4 diverged from threads=1"
+    );
+    // The intra-census knob is held to the same contract as the trial
+    // fan-out: `--census-threads 2` must not move a byte of any experiment's
+    // rendered output (this is the end-to-end half of the parallel-census
+    // equivalence suite in crates/percolation/tests/census_equivalence.rs).
+    assert_eq!(
+        baseline,
+        render_suite(1, 2),
+        "census-threads=2 diverged from census-threads=1"
+    );
+    assert_eq!(
+        baseline,
+        render_suite(2, 4),
+        "threads=2 + census-threads=4 diverged from the sequential baseline"
     );
 }
 
@@ -162,7 +176,7 @@ fn fault_models_report_compares_all_models() {
 #[test]
 fn run_all_enumerates_the_registry() {
     let experiments = registry();
-    let reports = run_all_reports(Effort::Quick, 2);
+    let reports = run_all_reports(Effort::Quick, 2, 1);
     assert_eq!(reports.len(), experiments.len());
     assert!(experiments.iter().any(|e| e.binary == "exp_fault_models"));
     // E11 runs last in registry order and is the fault-model matrix.
