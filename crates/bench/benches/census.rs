@@ -53,6 +53,7 @@ fn bench_census_seq_vs_par(c: &mut Criterion) {
 /// sequential census vs the parallel one (identical numbers, different
 /// wall-clock on multi-core hardware).
 fn bench_hypercube_point_census_threads(c: &mut Criterion) {
+    use faultnet_experiments::exec::TrialExec;
     use faultnet_experiments::hypercube_giant::measure_hypercube_point;
     let mut group = c.benchmark_group("census/hypercube_point");
     group.warm_up_time(Duration::from_millis(500));
@@ -64,7 +65,14 @@ fn bench_hypercube_point_census_threads(c: &mut Criterion) {
             &census_threads,
             |b, &census_threads| {
                 b.iter(|| {
-                    measure_hypercube_point(12, 0.45, 3, 11, 1, census_threads).giant_fraction
+                    measure_hypercube_point(
+                        12,
+                        0.45,
+                        3,
+                        11,
+                        TrialExec::sequential().with_census_threads(census_threads),
+                    )
+                    .giant_fraction
                 })
             },
         );

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faultnet_experiments::chemical_distance::measure_stretch_point;
+use faultnet_experiments::exec::TrialExec;
 use faultnet_experiments::hypercube_giant::measure_hypercube_point;
 use faultnet_percolation::components::ComponentCensus;
 use faultnet_percolation::sample::{BitsetSample, EdgeStates, FrozenSample};
@@ -184,7 +185,7 @@ fn bench_thresholds_and_stretch(c: &mut Criterion) {
         b.iter(|| measure_stretch_point(0.7, 16, 6, 3, 1))
     });
     group.bench_function("hypercube_giant_point_n10", |b| {
-        b.iter(|| measure_hypercube_point(10, 0.15, 4, 5, 1, 1))
+        b.iter(|| measure_hypercube_point(10, 0.15, 4, 5, TrialExec::sequential()))
     });
     group.finish();
 }

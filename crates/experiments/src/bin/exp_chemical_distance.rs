@@ -15,6 +15,7 @@ use faultnet_experiments::cli::ExpArgs;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("exp_chemical_distance");
+    args.warn_trial_batch_ignored("exp_chemical_distance");
     let experiment = ChemicalDistanceExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads);

@@ -15,6 +15,7 @@ use faultnet_experiments::double_tree::DoubleTreeExperiment;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("exp_double_tree");
+    args.warn_trial_batch_ignored("exp_double_tree");
     let experiment = DoubleTreeExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads);

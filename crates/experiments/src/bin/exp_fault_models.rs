@@ -12,9 +12,12 @@
 //! per core; the emitted tables are identical for every value),
 //! `--census-threads N` to run each intra-instance component census on `N`
 //! workers (absent = sequential census; 0 = one worker per core; the
-//! emitted tables are identical for every value), `--fault-model NAME` to
-//! restrict the matrix to a single model, and `--markdown` for Markdown
-//! output.
+//! emitted tables are identical for every value), `--trial-batch N` to pack
+//! up to 64 trials per chunk onto the multispin engine for the benign
+//! columns (absent or 0 = scalar engine; the adversarial column always runs
+//! scalar; the emitted tables are identical for every value),
+//! `--fault-model NAME` to restrict the matrix to a single model, and
+//! `--markdown` for Markdown output.
 
 use faultnet_experiments::cli::ExpArgs;
 use faultnet_experiments::fault_models::FaultModelsExperiment;
@@ -24,6 +27,7 @@ fn main() {
     let experiment = FaultModelsExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads)
+        .with_trial_batch(args.trial_batch)
         .with_fault_model(args.fault_model);
     args.print(&experiment.run());
 }

@@ -15,6 +15,7 @@ use faultnet_experiments::hypercube_lower_bound::HypercubeLowerBoundExperiment;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("exp_hypercube_lower_bound");
+    args.warn_trial_batch_ignored("exp_hypercube_lower_bound");
     let experiment = HypercubeLowerBoundExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads);

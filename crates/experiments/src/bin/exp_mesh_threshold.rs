@@ -6,8 +6,10 @@
 //! per core; the emitted tables are identical for every value),
 //! `--census-threads N` to run each intra-instance component census on `N`
 //! workers (absent = sequential census; 0 = one worker per core; the
-//! emitted tables are identical for every value), and `--markdown` for
-//! Markdown output.
+//! emitted tables are identical for every value), `--trial-batch N` to pack
+//! up to 64 trials per chunk onto the multispin engine (absent or 0 =
+//! scalar engine; the emitted tables are identical for every value), and
+//! `--markdown` for Markdown output.
 
 use faultnet_experiments::cli::ExpArgs;
 use faultnet_experiments::mesh_threshold::MeshThresholdExperiment;
@@ -17,6 +19,7 @@ fn main() {
     args.warn_fault_model_ignored("exp_mesh_threshold");
     let experiment = MeshThresholdExperiment::with_effort(args.effort)
         .with_threads(args.threads)
-        .with_census_threads(args.census_threads);
+        .with_census_threads(args.census_threads)
+        .with_trial_batch(args.trial_batch);
     args.print(&experiment.run());
 }

@@ -14,6 +14,10 @@
 //!   workers (absent = sequential census; 0 = one worker per core). The
 //!   parallel census is bit-identical to the sequential one, so this knob
 //!   too leaves every emitted byte unchanged.
+//! * `--trial-batch N` packs up to 64 trials per chunk onto the multispin
+//!   engine in the trial-fan-out experiments (E8a, E8b, E11; absent or 0 =
+//!   scalar engine everywhere). The batched engine is bit-identical to the
+//!   scalar one, so this knob too leaves every emitted byte unchanged.
 
 use faultnet_experiments::cli::ExpArgs;
 use faultnet_experiments::suite::run_all_reports;
@@ -21,7 +25,12 @@ use faultnet_experiments::suite::run_all_reports;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("run_all");
-    let reports = run_all_reports(args.effort, args.threads, args.census_threads);
+    let reports = run_all_reports(
+        args.effort,
+        args.threads,
+        args.census_threads,
+        args.trial_batch,
+    );
 
     for report in &reports {
         args.print(report);

@@ -19,6 +19,16 @@
 //!   bit-identical to the sequential one (canonical min-vertex component
 //!   labels), so this knob, like `--threads`, never changes a single
 //!   emitted byte.
+//! * `--trial-batch N` (or `--trial-batch=N`) — run trial fan-outs through
+//!   the trial-batched (multispin) percolation engine, packing up to
+//!   `min(N, 64)` consecutive trials into one transposed bitset word per
+//!   edge. Consumed by the trial-fan-out binaries (`exp_hypercube_giant`,
+//!   `exp_mesh_threshold`, `exp_fault_models`) and by `run_all`; the others
+//!   warn on stderr ([`ExpArgs::warn_trial_batch_ignored`]). `N = 0` (the
+//!   default) keeps the scalar engine. The batched engine is bit-identical
+//!   to the scalar one — every emitted byte is the same for every `N` —
+//!   and the adversarial fault-model column always stays on the scalar
+//!   reference path.
 //! * `--markdown` — render the report as Markdown instead of plain text.
 //! * `--fault-model NAME` (or `--fault-model=NAME`) — select one named
 //!   fault model (`bernoulli-edges`, `bernoulli-nodes`,
@@ -70,6 +80,9 @@ pub struct ExpArgs {
     /// Intra-instance census thread count, already resolved: absent = 1
     /// (sequential census), `--census-threads 0` = one worker per core.
     pub census_threads: usize,
+    /// Trial-batch lane request: `0` (absent flag) = scalar engine,
+    /// `N >= 1` = the multispin engine with `min(N, 64)` lanes per word.
+    pub trial_batch: usize,
     /// Whether `--markdown` was passed.
     pub markdown: bool,
     /// The fault model selected with `--fault-model`, if any. `None` means
@@ -88,6 +101,9 @@ impl ExpArgs {
         let mut threads: usize = 0;
         // 1 = sequential census (the default); 0 = auto, resolved below.
         let mut census_threads: usize = 1;
+        // 0 = scalar engine (the default); N >= 1 = batched with min(N, 64)
+        // lanes. Deliberately *not* auto-resolved: batching is opt-in.
+        let mut trial_batch: usize = 0;
         let mut fault_model = None;
         let mut parse_model = |value: &str| match FaultModelSpec::parse(value) {
             Ok(spec) => fault_model = Some(spec),
@@ -122,6 +138,18 @@ impl ExpArgs {
                         }
                     }
                 }
+                "--trial-batch" => {
+                    // Same lookahead rule as --threads.
+                    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        Some(n) => {
+                            trial_batch = n;
+                            i += 1;
+                        }
+                        None => {
+                            eprintln!("--trial-batch expects a number; keeping the scalar engine")
+                        }
+                    }
+                }
                 "--fault-model" => {
                     // Same lookahead rule as --threads: consume the next
                     // token as the value unless it is itself a flag, so a
@@ -147,6 +175,11 @@ impl ExpArgs {
                             eprintln!("--census-threads expects a number; using the default of 1");
                             1
                         });
+                    } else if let Some(value) = other.strip_prefix("--trial-batch=") {
+                        trial_batch = value.parse().unwrap_or_else(|_| {
+                            eprintln!("--trial-batch expects a number; keeping the scalar engine");
+                            0
+                        });
                     } else if let Some(value) = other.strip_prefix("--fault-model=") {
                         parse_model(value);
                     } else {
@@ -160,6 +193,7 @@ impl ExpArgs {
             effort,
             threads: resolve_threads(threads),
             census_threads: resolve_census_threads(census_threads),
+            trial_batch,
             markdown,
             fault_model,
         }
@@ -190,6 +224,22 @@ impl ExpArgs {
             eprintln!(
                 "--fault-model {spec} is ignored by {binary}; \
                  use exp_fault_models to measure under other fault models"
+            );
+        }
+    }
+
+    /// Warns on stderr when `--trial-batch` was passed to a binary whose
+    /// experiment has no trial fan-out to batch (single-instance analyses,
+    /// distance scans). Mirrors [`ExpArgs::warn_fault_model_ignored`]:
+    /// silently accepting the flag would let a user believe the batched
+    /// engine ran when nothing batched.
+    pub fn warn_trial_batch_ignored(&self, binary: &str) {
+        if self.trial_batch > 0 {
+            eprintln!(
+                "--trial-batch {} is ignored by {binary}; the trial-batched \
+                 engine applies to the trial-fan-out experiments \
+                 (exp_hypercube_giant, exp_mesh_threshold, exp_fault_models)",
+                self.trial_batch
             );
         }
     }
@@ -290,6 +340,46 @@ mod tests {
         ]);
         assert_eq!(args.threads, 8);
         assert_eq!(args.census_threads, 2);
+    }
+
+    #[test]
+    fn trial_batch_flag_forms() {
+        // Absent: scalar engine.
+        assert_eq!(ExpArgs::parse(Vec::new()).trial_batch, 0);
+        // Explicit counts in both spellings (clamping to 64 lanes happens
+        // in the engine, not the parser — 200 must survive to exercise it).
+        assert_eq!(
+            ExpArgs::parse(vec!["--trial-batch".into(), "64".into()]).trial_batch,
+            64
+        );
+        assert_eq!(
+            ExpArgs::parse(vec!["--trial-batch=7".into()]).trial_batch,
+            7
+        );
+        assert_eq!(
+            ExpArgs::parse(vec!["--trial-batch".into(), "200".into()]).trial_batch,
+            200
+        );
+        // A valueless flag keeps the scalar engine and must not swallow the
+        // next flag.
+        let args = ExpArgs::parse(vec!["--trial-batch".into(), "--markdown".into()]);
+        assert_eq!(args.trial_batch, 0);
+        assert!(args.markdown);
+        // Malformed value falls back to the scalar engine.
+        assert_eq!(
+            ExpArgs::parse(vec!["--trial-batch=lots".into()]).trial_batch,
+            0
+        );
+        // Orthogonal to the thread knobs.
+        let args = ExpArgs::parse(vec![
+            "--threads=2".into(),
+            "--census-threads=3".into(),
+            "--trial-batch=64".into(),
+        ]);
+        assert_eq!(
+            (args.threads, args.census_threads, args.trial_batch),
+            (2, 3, 64)
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ use faultnet_percolation::PercolationConfig;
 use faultnet_routing::complexity::ComplexityHarness;
 use faultnet_routing::mesh::MeshLandmarkRouter;
 
+use crate::exec::TrialExec;
 use crate::hypercube_giant::measure_hypercube_point_with_model;
 use crate::mesh_routing::mesh_and_pair;
 use crate::report::{Effort, ExperimentReport};
@@ -46,29 +47,37 @@ pub struct ModelMeshPoint {
 }
 
 /// Measures the E4 landmark-router point (2-d mesh, straight pair at
-/// `distance`) under `model`, fanning trials across `threads` workers; with
-/// `census_threads > 1` each trial's conditioning check runs on the parallel
-/// census (bit-identical numbers either way).
+/// `distance`) under `model`, fanning trials across `exec.threads` workers;
+/// with `exec.census_threads > 1` each trial's conditioning check runs on
+/// the parallel census, and `exec.trial_batch > 0` routes the measurement
+/// through the trial-batched harness — bit-identical numbers in every
+/// configuration (non-lane-batchable models fall back to the scalar loop
+/// after a one-shot stderr note).
 pub fn measure_mesh_point_with_model<M: FaultModel + Sync + ?Sized>(
     model: &M,
     p: f64,
     distance: u64,
     trials: u32,
     base_seed: u64,
-    threads: usize,
-    census_threads: usize,
+    exec: TrialExec,
 ) -> ModelMeshPoint {
     let (mesh, u, v) = mesh_and_pair(2, distance);
     let harness = ComplexityHarness::new(mesh, PercolationConfig::new(p, base_seed))
-        .with_census_threads(census_threads);
-    let stats = harness.measure_parallel_with_model(
-        model,
-        &MeshLandmarkRouter::new(),
-        u,
-        v,
-        trials,
-        threads,
-    );
+        .with_census_threads(exec.census_threads);
+    let router = MeshLandmarkRouter::new();
+    let stats = if exec.batched() {
+        harness.measure_batched_with_model(
+            model,
+            &router,
+            u,
+            v,
+            trials,
+            exec.trial_batch,
+            exec.threads,
+        )
+    } else {
+        harness.measure_parallel_with_model(model, &router, u, v, trials, exec.threads)
+    };
     ModelMeshPoint {
         connectivity_rate: stats.connectivity_rate(),
         mean_probes: Summary::from_counts(stats.probe_counts().iter().copied()).mean(),
@@ -101,6 +110,10 @@ pub struct FaultModelsExperiment {
     /// Intra-census worker threads (1 = sequential census; the reported
     /// numbers are identical for every value).
     pub census_threads: usize,
+    /// Trial-batch lane request (0 = scalar engine; the reported numbers
+    /// are identical for every value — the adversarial column always runs
+    /// scalar, by [`FaultModel::lane_batchable`]).
+    pub trial_batch: usize,
 }
 
 impl FaultModelsExperiment {
@@ -120,6 +133,7 @@ impl FaultModelsExperiment {
             base_seed: 0xFA11,
             threads: 1,
             census_threads: 1,
+            trial_batch: 0,
         }
     }
 
@@ -145,6 +159,22 @@ impl FaultModelsExperiment {
     pub fn with_census_threads(mut self, census_threads: usize) -> Self {
         self.census_threads = census_threads.max(1);
         self
+    }
+
+    /// Sets the trial-batch lane request (the `--trial-batch` knob;
+    /// 0 keeps the scalar engine).
+    #[must_use]
+    pub fn with_trial_batch(mut self, trial_batch: usize) -> Self {
+        self.trial_batch = trial_batch;
+        self
+    }
+
+    /// The execution knobs this configuration runs under.
+    fn exec(&self) -> TrialExec {
+        TrialExec::sequential()
+            .with_threads(self.threads)
+            .with_census_threads(self.census_threads)
+            .with_trial_batch(self.trial_batch)
     }
 
     /// Restricts the comparison to one model (the `--fault-model` knob);
@@ -195,8 +225,7 @@ impl FaultModelsExperiment {
                             .wrapping_add((pi as u64) << 24)
                             .wrapping_add((di as u64) << 8)
                             .wrapping_add(canonical_index(*spec)),
-                        self.threads,
-                        self.census_threads,
+                        self.exec(),
                     );
                     row.push(fmt_float(point.mean_probes));
                 }
@@ -238,8 +267,7 @@ impl FaultModelsExperiment {
                         .wrapping_add(0xC0DE)
                         .wrapping_add((qi as u64) * 131)
                         .wrapping_add(canonical_index(*spec)),
-                    self.threads,
-                    self.census_threads,
+                    self.exec(),
                 );
                 giant_row.push(fmt_float(point.giant_fraction));
                 conn_row.push(fmt_float(point.connectivity));
@@ -324,14 +352,14 @@ mod tests {
 
     #[test]
     fn node_faults_are_harsher_than_edge_faults_on_the_mesh() {
+        let exec = TrialExec::sequential().with_threads(2);
         let edge = measure_mesh_point_with_model(
             &faultnet_faultmodel::BernoulliEdges::new(),
             0.9,
             8,
             12,
             7,
-            2,
-            1,
+            exec,
         );
         let node = measure_mesh_point_with_model(
             &faultnet_faultmodel::BernoulliNodes::new(),
@@ -339,8 +367,7 @@ mod tests {
             8,
             12,
             7,
-            2,
-            2,
+            exec.with_census_threads(2),
         );
         assert!(edge.connectivity_rate > 0.0);
         assert!(
@@ -353,14 +380,14 @@ mod tests {
 
     #[test]
     fn hypercube_connectivity_collapses_under_node_faults() {
+        let exec = TrialExec::sequential().with_threads(2);
         let edge = measure_hypercube_point_with_model(
             &faultnet_faultmodel::BernoulliEdges::new(),
             8,
             0.9,
             6,
             3,
-            2,
-            1,
+            exec,
         );
         let node = measure_hypercube_point_with_model(
             &faultnet_faultmodel::BernoulliNodes::new(),
@@ -368,13 +395,29 @@ mod tests {
             0.9,
             6,
             3,
-            2,
-            2,
+            exec.with_census_threads(2),
         );
         // At p = 0.9 the edge-fault cube is essentially always connected;
         // with 256 vertices each dying w.p. 0.1, the node-fault cube has
         // dead (isolated) vertices in virtually every instance.
         assert!(edge.connectivity > node.connectivity);
         assert!(node.giant_fraction > 0.5, "giant survives node faults");
+    }
+
+    #[test]
+    fn batched_matrix_is_byte_identical_to_scalar() {
+        // The adversarial column exercises the scalar fallback inside an
+        // otherwise-batched run; the benign columns exercise the multispin
+        // engine end to end. Either way, the rendered report must not move
+        // by a byte.
+        let scalar = FaultModelsExperiment::quick().run().render();
+        for trial_batch in [1, 64] {
+            let batched = FaultModelsExperiment::quick()
+                .with_trial_batch(trial_batch)
+                .with_threads(2)
+                .run()
+                .render();
+            assert_eq!(scalar, batched, "trial_batch {trial_batch}");
+        }
     }
 }

@@ -8,10 +8,12 @@ use faultnet_analysis::sweep::Sweep;
 use faultnet_analysis::table::{fmt_float, Table};
 use faultnet_percolation::components::ComponentCensus;
 use faultnet_percolation::sample::BitsetSample;
+use faultnet_percolation::trial_batch::{clamp_lanes, TrialBatch};
 use faultnet_percolation::PercolationConfig;
 use faultnet_topology::hypercube::Hypercube;
 use faultnet_topology::Topology;
 
+use crate::exec::TrialExec;
 use crate::report::{Effort, ExperimentReport};
 
 /// Giant fraction and connectivity probability of `H_{n,p}` at one `p`.
@@ -26,23 +28,29 @@ pub struct HypercubePoint {
 }
 
 /// Measures giant fraction and connectivity of `H_{n,p}` over `trials`
-/// instances, fanning the instances across `threads` workers and each
-/// instance's census across `census_threads` workers.
+/// instances under the execution knobs in `exec`: instances fan across
+/// `exec.threads` workers, each instance's census across
+/// `exec.census_threads` workers, and `exec.trial_batch > 0` packs up to 64
+/// instances per chunk into one [`TrialBatch`] word array.
 ///
-/// Each worker materialises its instance as a [`BitsetSample`] (single bit
-/// read per edge in the census) and the per-instance results are summed in
-/// trial order, so the means are identical for every `threads` *and* every
-/// `census_threads` value: the parallel census is bit-identical to the
-/// sequential one. The two knobs compose — per-trial fan-out soaks up many
-/// small instances, intra-census fan-out soaks up few huge ones (the
-/// n ≥ 16 grids this experiment exists for).
+/// On the scalar path each worker materialises its instance as a
+/// [`BitsetSample`] (single bit read per edge in the census); on the batched
+/// path lane `l` of the chunk starting at trial `t0` uses seed
+/// `base_seed + t0 + l` — exactly the scalar trial's seed — and the census
+/// reads the lane through a [`faultnet_percolation::LaneView`]. Per-instance
+/// results are summed in trial order either way, so the means are identical
+/// for every `threads`, `census_threads`, *and* `trial_batch` value: the
+/// parallel census is bit-identical to the sequential one and the batched
+/// substrate is a pure relayout of the scalar samples. The knobs compose —
+/// per-trial fan-out soaks up many small instances, intra-census fan-out
+/// soaks up few huge ones (the n ≥ 16 grids this experiment exists for), and
+/// batching amortises the edge sampling across lanes.
 pub fn measure_hypercube_point(
     dimension: u32,
     p: f64,
     trials: u32,
     base_seed: u64,
-    threads: usize,
-    census_threads: usize,
+    exec: TrialExec,
 ) -> HypercubePoint {
     measure_hypercube_point_with_model(
         &faultnet_faultmodel::BernoulliEdges::new(),
@@ -50,8 +58,7 @@ pub fn measure_hypercube_point(
         p,
         trials,
         base_seed,
-        threads,
-        census_threads,
+        exec,
     )
 }
 
@@ -64,14 +71,17 @@ pub fn measure_hypercube_point(
 /// *fraction*'s denominator (they are isolated components), so a node model
 /// at survival `p` caps the giant fraction near `p` — exactly the effect
 /// `exp_fault_models` tabulates side by side.
+///
+/// A `trial_batch` request silently falls back to the scalar loop for
+/// models that are not [`faultnet_faultmodel::FaultModel::lane_batchable`]
+/// (after a one-shot stderr note) — the results are identical either way.
 pub fn measure_hypercube_point_with_model<M: faultnet_faultmodel::FaultModel + Sync + ?Sized>(
     model: &M,
     dimension: u32,
     p: f64,
     trials: u32,
     base_seed: u64,
-    threads: usize,
-    census_threads: usize,
+    exec: TrialExec,
 ) -> HypercubePoint {
     let cube = Hypercube::new(dimension);
     // No routed pair in a giant scan; the FaultModel contract defines an
@@ -82,19 +92,65 @@ pub fn measure_hypercube_point_with_model<M: faultnet_faultmodel::FaultModel + S
     // property-tested in the faultmodel crate.
     let pair = cube.canonical_pair();
     let placement = model.pair_placement(&cube, pair);
-    let per_trial = Sweep::over(0..trials).run_parallel(threads.max(1), |&t| {
-        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
-        let instance = model.instance_from_placement(&placement, &cube, cfg, pair);
-        let sample = BitsetSample::from_states(&cube, &instance);
-        let census = ComponentCensus::compute_parallel(&cube, &sample, census_threads);
-        (census.giant_fraction(), census.num_components() == 1)
-    });
-    let mut giant_total = 0.0;
-    let mut connected_count = 0u32;
-    for point in per_trial {
-        giant_total += point.value.0;
-        connected_count += u32::from(point.value.1);
+    let mut batched = exec.batched();
+    if batched && !model.lane_batchable() {
+        faultnet_faultmodel::warn_scalar_fallback(&model.name());
+        batched = false;
     }
+    let (giant_total, connected_count) = if batched && TrialBatch::supported(&cube) {
+        // Multispin path: each chunk samples up to 64 instances into one
+        // transposed word array, then walks the lanes in trial order. Lane
+        // `l` of the chunk at `t0` uses seed `base_seed + t0 + l` — the
+        // scalar trial's seed — so the census over each LaneView is
+        // bit-identical to the census over the scalar BitsetSample.
+        let lanes_per_chunk = clamp_lanes(exec.trial_batch);
+        let starts: Vec<u32> = (0..trials).step_by(lanes_per_chunk).collect();
+        let per_chunk = Sweep::over(starts).run_parallel(exec.threads.max(1), |&t0| {
+            let lanes = lanes_per_chunk.min((trials - t0) as usize);
+            let instances: Vec<_> = (0..lanes)
+                .map(|l| {
+                    let seed = base_seed.wrapping_add(t0 as u64).wrapping_add(l as u64);
+                    let cfg = PercolationConfig::new(p, seed);
+                    model.instance_from_placement(&placement, &cube, cfg, pair)
+                })
+                .collect();
+            let batch = TrialBatch::from_lane_states(&cube, &instances);
+            (0..lanes)
+                .map(|l| {
+                    let census = ComponentCensus::compute_parallel(
+                        &cube,
+                        &batch.lane_view(l),
+                        exec.census_threads,
+                    );
+                    (census.giant_fraction(), census.num_components() == 1)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut giant_total = 0.0;
+        let mut connected_count = 0u32;
+        for chunk in per_chunk {
+            for (giant, connected) in chunk.value {
+                giant_total += giant;
+                connected_count += u32::from(connected);
+            }
+        }
+        (giant_total, connected_count)
+    } else {
+        let per_trial = Sweep::over(0..trials).run_parallel(exec.threads.max(1), |&t| {
+            let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
+            let instance = model.instance_from_placement(&placement, &cube, cfg, pair);
+            let sample = BitsetSample::from_states(&cube, &instance);
+            let census = ComponentCensus::compute_parallel(&cube, &sample, exec.census_threads);
+            (census.giant_fraction(), census.num_components() == 1)
+        });
+        let mut giant_total = 0.0;
+        let mut connected_count = 0u32;
+        for point in per_trial {
+            giant_total += point.value.0;
+            connected_count += u32::from(point.value.1);
+        }
+        (giant_total, connected_count)
+    };
     HypercubePoint {
         p,
         giant_fraction: giant_total / trials as f64,
@@ -121,6 +177,9 @@ pub struct HypercubeGiantExperiment {
     /// Intra-census worker threads (1 = sequential census; the reported
     /// numbers are identical for every value).
     pub census_threads: usize,
+    /// Trial-batch lane request (0 = scalar engine; the reported numbers
+    /// are identical for every value).
+    pub trial_batch: usize,
 }
 
 impl HypercubeGiantExperiment {
@@ -136,6 +195,7 @@ impl HypercubeGiantExperiment {
             base_seed: 0xFA03,
             threads: 1,
             census_threads: 1,
+            trial_batch: 0,
         }
     }
 
@@ -163,6 +223,22 @@ impl HypercubeGiantExperiment {
         self
     }
 
+    /// Sets the trial-batch lane request (the `--trial-batch` knob;
+    /// 0 keeps the scalar engine).
+    #[must_use]
+    pub fn with_trial_batch(mut self, trial_batch: usize) -> Self {
+        self.trial_batch = trial_batch;
+        self
+    }
+
+    /// The execution knobs this configuration runs under.
+    fn exec(&self) -> TrialExec {
+        TrialExec::sequential()
+            .with_threads(self.threads)
+            .with_census_threads(self.census_threads)
+            .with_trial_batch(self.trial_batch)
+    }
+
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
         let mut report = ExperimentReport::new(
@@ -182,8 +258,7 @@ impl HypercubeGiantExperiment {
                     p,
                     self.trials,
                     self.base_seed + i as u64 * 31,
-                    self.threads,
-                    self.census_threads,
+                    self.exec(),
                 );
                 giant_table.push_row([
                     format!("{c:.2}"),
@@ -210,8 +285,7 @@ impl HypercubeGiantExperiment {
                     p,
                     self.trials,
                     self.base_seed + 991 + i as u64,
-                    self.threads,
-                    self.census_threads,
+                    self.exec(),
                 );
                 conn_table.push_row([
                     format!("{p:.2}"),
@@ -237,8 +311,9 @@ mod tests {
 
     #[test]
     fn giant_fraction_transitions_around_one_over_n() {
-        let sub = measure_hypercube_point(10, 0.25 / 10.0, 6, 1, 2, 1);
-        let sup = measure_hypercube_point(10, 3.0 / 10.0, 6, 1, 2, 2);
+        let exec = TrialExec::sequential().with_threads(2);
+        let sub = measure_hypercube_point(10, 0.25 / 10.0, 6, 1, exec);
+        let sup = measure_hypercube_point(10, 3.0 / 10.0, 6, 1, exec.with_census_threads(2));
         assert!(
             sub.giant_fraction < 0.2,
             "subcritical {}",
@@ -253,10 +328,32 @@ mod tests {
 
     #[test]
     fn connectivity_transitions_around_one_half() {
-        let below = measure_hypercube_point(10, 0.35, 6, 2, 1, 1);
-        let above = measure_hypercube_point(10, 0.65, 6, 2, 1, 2);
+        let below = measure_hypercube_point(10, 0.35, 6, 2, TrialExec::sequential());
+        let above = measure_hypercube_point(
+            10,
+            0.65,
+            6,
+            2,
+            TrialExec::sequential().with_census_threads(2),
+        );
         assert!(below.connectivity < above.connectivity + 1e-9);
         assert!(above.connectivity > 0.5);
+    }
+
+    #[test]
+    fn batched_point_is_bit_identical_to_scalar() {
+        // Trial-order summation makes even the f64 addition sequence match,
+        // so the batched means are *equal*, not merely close.
+        let scalar = measure_hypercube_point(8, 0.4, 10, 7, TrialExec::sequential());
+        for trial_batch in [1, 4, 64, 200] {
+            for threads in [1, 3] {
+                let exec = TrialExec::sequential()
+                    .with_threads(threads)
+                    .with_trial_batch(trial_batch);
+                let batched = measure_hypercube_point(8, 0.4, 10, 7, exec);
+                assert_eq!(scalar, batched, "batch {trial_batch}, threads {threads}");
+            }
+        }
     }
 
     #[test]
@@ -265,5 +362,15 @@ mod tests {
         assert_eq!(report.tables().len(), 2);
         assert!(!report.notes().is_empty());
         assert!(report.render().contains("giant"));
+    }
+
+    #[test]
+    fn quick_report_is_byte_identical_with_batching() {
+        let scalar = HypercubeGiantExperiment::quick().run().render();
+        let batched = HypercubeGiantExperiment::quick()
+            .with_trial_batch(64)
+            .run()
+            .render();
+        assert_eq!(scalar, batched);
     }
 }

@@ -25,8 +25,11 @@
 //! binaries) constructors, a `with_threads` builder wired to the binaries'
 //! `--threads` flag (trials fan across scoped worker threads; the reported
 //! numbers are bit-identical for every thread count), and a `run()` method
-//! producing an [`report::ExperimentReport`]. Shared flag parsing lives in
-//! [`cli`].
+//! producing an [`report::ExperimentReport`]. The trial-fan-out experiments
+//! (E8a, E8b, E11) additionally accept the `--trial-batch` knob via a
+//! `with_trial_batch` builder: their benign columns run on the multispin
+//! [`faultnet_percolation::TrialBatch`] engine, again with bit-identical
+//! output (see [`exec::TrialExec`]). Shared flag parsing lives in [`cli`].
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ pub mod ablation;
 pub mod chemical_distance;
 pub mod cli;
 pub mod double_tree;
+pub mod exec;
 pub mod fault_models;
 pub mod gnp;
 pub mod hypercube_giant;
@@ -45,4 +49,5 @@ pub mod open_questions;
 pub mod report;
 pub mod suite;
 
+pub use exec::TrialExec;
 pub use report::{Effort, ExperimentReport};

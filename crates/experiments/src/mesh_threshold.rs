@@ -8,7 +8,8 @@
 use faultnet_analysis::sweep::Sweep;
 use faultnet_analysis::table::{fmt_float, Table};
 use faultnet_percolation::threshold::{
-    estimate_threshold_with_census_threads, giant_fraction_sweep_with_census_threads,
+    estimate_threshold_batched, estimate_threshold_with_census_threads,
+    giant_fraction_sweep_batched, giant_fraction_sweep_with_census_threads,
 };
 use faultnet_topology::torus::Torus;
 
@@ -38,6 +39,10 @@ pub struct MeshThresholdExperiment {
     /// parallelism available *within* one bisection. 1 = sequential; the
     /// reported numbers are identical for every value.
     pub census_threads: usize,
+    /// Trial-batch lane request: each probability evaluation inside a
+    /// bisection samples its trials on the multispin engine. 0 = scalar;
+    /// the reported numbers are identical for every value.
+    pub trial_batch: usize,
 }
 
 impl MeshThresholdExperiment {
@@ -57,6 +62,7 @@ impl MeshThresholdExperiment {
             base_seed: 0xFA05,
             threads: 1,
             census_threads: 1,
+            trial_batch: 0,
         }
     }
 
@@ -81,6 +87,14 @@ impl MeshThresholdExperiment {
     #[must_use]
     pub fn with_census_threads(mut self, census_threads: usize) -> Self {
         self.census_threads = census_threads.max(1);
+        self
+    }
+
+    /// Sets the trial-batch lane request (the `--trial-batch` knob;
+    /// 0 keeps the scalar engine).
+    #[must_use]
+    pub fn with_trial_batch(mut self, trial_batch: usize) -> Self {
+        self.trial_batch = trial_batch;
         self
     }
 
@@ -112,14 +126,26 @@ impl MeshThresholdExperiment {
                     .base_seed
                     .wrapping_add((case_index as u64) << 20)
                     .wrapping_add(side_index as u64);
-                estimate_threshold_with_census_threads(
-                    &torus,
-                    self.target_fraction,
-                    self.trials,
-                    self.tolerance,
-                    seed,
-                    self.census_threads,
-                )
+                if self.trial_batch > 0 {
+                    estimate_threshold_batched(
+                        &torus,
+                        self.target_fraction,
+                        self.trials,
+                        self.tolerance,
+                        seed,
+                        self.census_threads,
+                        self.trial_batch,
+                    )
+                } else {
+                    estimate_threshold_with_census_threads(
+                        &torus,
+                        self.target_fraction,
+                        self.trials,
+                        self.tolerance,
+                        seed,
+                        self.census_threads,
+                    )
+                }
             },
         );
         for point in &estimated {
@@ -143,13 +169,25 @@ impl MeshThresholdExperiment {
             // A giant-fraction sweep for the largest side of this dimension.
             let &largest = sides.last().expect("at least one side per case");
             let torus = Torus::new(*d, largest);
-            let sweep = giant_fraction_sweep_with_census_threads(
-                &torus,
-                &self.sweep_ps,
-                self.trials,
-                self.base_seed.wrapping_add(777 + case_index as u64),
-                self.census_threads,
-            );
+            let sweep_seed = self.base_seed.wrapping_add(777 + case_index as u64);
+            let sweep = if self.trial_batch > 0 {
+                giant_fraction_sweep_batched(
+                    &torus,
+                    &self.sweep_ps,
+                    self.trials,
+                    sweep_seed,
+                    self.census_threads,
+                    self.trial_batch,
+                )
+            } else {
+                giant_fraction_sweep_with_census_threads(
+                    &torus,
+                    &self.sweep_ps,
+                    self.trials,
+                    sweep_seed,
+                    self.census_threads,
+                )
+            };
             let mut sweep_table = Table::new(["p", "giant fraction"]).with_title(format!(
                 "giant fraction sweep, d = {d}, torus side {largest}"
             ));
@@ -187,5 +225,19 @@ mod tests {
         let report = MeshThresholdExperiment::quick().run();
         assert!(report.tables().len() >= 3);
         assert!(report.render().contains("p_c"));
+    }
+
+    #[test]
+    fn quick_report_is_byte_identical_with_batching() {
+        // Every probability evaluation inside every bisection must land on
+        // the same bits whether its trials are scalar or lane-packed —
+        // otherwise the bisection could take a *different path* through p.
+        let scalar = MeshThresholdExperiment::quick().run().render();
+        let batched = MeshThresholdExperiment::quick()
+            .with_trial_batch(64)
+            .with_threads(2)
+            .run()
+            .render();
+        assert_eq!(scalar, batched);
     }
 }

@@ -32,15 +32,28 @@ pub struct RegisteredExperiment {
     pub binary: &'static str,
     /// One-line description (paper result or scenario).
     pub title: &'static str,
-    run: fn(Effort, usize, usize) -> ExperimentReport,
+    /// Whether this experiment consumes the `--trial-batch` knob (the
+    /// trial-fan-out experiments: E8a, E8b, E11). For the rest the knob is
+    /// a no-op — their trial structure has nothing for lanes to pack.
+    pub supports_trial_batch: bool,
+    run: fn(Effort, usize, usize, usize) -> ExperimentReport,
 }
 
 impl RegisteredExperiment {
     /// Runs the experiment at the given effort across `threads` trial
-    /// workers and `census_threads` intra-census workers. Both knobs are
-    /// pure wall-clock levers: the report is a function of `effort` alone.
-    pub fn run(&self, effort: Effort, threads: usize, census_threads: usize) -> ExperimentReport {
-        (self.run)(effort, threads, census_threads)
+    /// workers and `census_threads` intra-census workers, with the
+    /// trial-batched engine at `trial_batch` lanes (0 = scalar; ignored by
+    /// experiments that don't [`Self::supports_trial_batch`]). All three
+    /// knobs are pure wall-clock levers: the report is a function of
+    /// `effort` alone.
+    pub fn run(
+        &self,
+        effort: Effort,
+        threads: usize,
+        census_threads: usize,
+        trial_batch: usize,
+    ) -> ExperimentReport {
+        (self.run)(effort, threads, census_threads, trial_batch)
     }
 }
 
@@ -48,52 +61,76 @@ impl RegisteredExperiment {
 /// adding an experiment; `run_all` and the end-to-end tests derive from it.
 pub fn registry() -> Vec<RegisteredExperiment> {
     // A macro keeps each entry to one line and guarantees every experiment
-    // is wired through the same with_effort/with_threads/run protocol.
+    // is wired through the same with_effort/with_threads/run protocol. The
+    // `scalar`/`batched` marker states whether the experiment's struct has a
+    // `with_trial_batch` builder: `batched` entries forward the knob, the
+    // rest drop it (their trial structure has nothing for lanes to pack).
     macro_rules! experiments {
-        ($($id:literal, $binary:literal, $title:literal => $ty:ty;)+) => {
+        (@run scalar, $ty:ty) => {
+            |effort, threads, census_threads, _trial_batch| {
+                <$ty>::with_effort(effort)
+                    .with_threads(threads)
+                    .with_census_threads(census_threads)
+                    .run()
+            }
+        };
+        (@run batched, $ty:ty) => {
+            |effort, threads, census_threads, trial_batch| {
+                <$ty>::with_effort(effort)
+                    .with_threads(threads)
+                    .with_census_threads(census_threads)
+                    .with_trial_batch(trial_batch)
+                    .run()
+            }
+        };
+        (@supports scalar) => {
+            false
+        };
+        (@supports batched) => {
+            true
+        };
+        ($($id:literal, $binary:literal, $title:literal => $marker:ident $ty:ty;)+) => {
             vec![$(RegisteredExperiment {
                 id: $id,
                 binary: $binary,
                 title: $title,
-                run: |effort, threads, census_threads| {
-                    <$ty>::with_effort(effort)
-                        .with_threads(threads)
-                        .with_census_threads(census_threads)
-                        .run()
-                },
+                supports_trial_batch: experiments!(@supports $marker),
+                run: experiments!(@run $marker, $ty),
             }),+]
         };
     }
     experiments! {
-        "E1/E3", "exp_hypercube_transition", "Theorem 3 — hypercube routing phase transition" => HypercubeTransitionExperiment;
-        "E2", "exp_hypercube_lower_bound", "Lemma 5 — cut lower bound vs. measured cost" => HypercubeLowerBoundExperiment;
-        "E4", "exp_mesh_routing", "Theorem 4 — O(n) mesh routing above p_c" => MeshRoutingExperiment;
-        "E5", "exp_chemical_distance", "Lemma 8 — chemical distance is linear above p_c" => ChemicalDistanceExperiment;
-        "E6", "exp_double_tree", "Lemma 6 + Theorems 7, 9 — double tree local vs. oracle" => DoubleTreeExperiment;
-        "E7", "exp_gnp", "Theorems 10, 11 — G(n,p) local n² vs. oracle n^{3/2}" => GnpExperiment;
-        "E8a", "exp_hypercube_giant", "§1.2 — hypercube giant/connectivity thresholds" => HypercubeGiantExperiment;
-        "E8b", "exp_mesh_threshold", "§1.2 — mesh percolation threshold" => MeshThresholdExperiment;
-        "E9", "exp_open_questions", "§6 open questions — constant-degree families" => OpenQuestionsExperiment;
-        "E10", "exp_ablation", "design-choice ablations" => AblationExperiment;
-        "E11", "exp_fault_models", "fault-model scenario matrix (node/correlated/adversarial)" => FaultModelsExperiment;
+        "E1/E3", "exp_hypercube_transition", "Theorem 3 — hypercube routing phase transition" => scalar HypercubeTransitionExperiment;
+        "E2", "exp_hypercube_lower_bound", "Lemma 5 — cut lower bound vs. measured cost" => scalar HypercubeLowerBoundExperiment;
+        "E4", "exp_mesh_routing", "Theorem 4 — O(n) mesh routing above p_c" => scalar MeshRoutingExperiment;
+        "E5", "exp_chemical_distance", "Lemma 8 — chemical distance is linear above p_c" => scalar ChemicalDistanceExperiment;
+        "E6", "exp_double_tree", "Lemma 6 + Theorems 7, 9 — double tree local vs. oracle" => scalar DoubleTreeExperiment;
+        "E7", "exp_gnp", "Theorems 10, 11 — G(n,p) local n² vs. oracle n^{3/2}" => scalar GnpExperiment;
+        "E8a", "exp_hypercube_giant", "§1.2 — hypercube giant/connectivity thresholds" => batched HypercubeGiantExperiment;
+        "E8b", "exp_mesh_threshold", "§1.2 — mesh percolation threshold" => batched MeshThresholdExperiment;
+        "E9", "exp_open_questions", "§6 open questions — constant-degree families" => scalar OpenQuestionsExperiment;
+        "E10", "exp_ablation", "design-choice ablations" => scalar AblationExperiment;
+        "E11", "exp_fault_models", "fault-model scenario matrix (node/correlated/adversarial)" => batched FaultModelsExperiment;
     }
 }
 
 /// Runs every registered experiment at the given effort across `threads`
-/// trial workers and `census_threads` intra-census workers, in registry
+/// trial workers and `census_threads` intra-census workers, the
+/// trial-batched engine at `trial_batch` lanes (0 = scalar), in registry
 /// order, and returns the reports.
 ///
 /// The reported numbers are a pure function of `effort` (each experiment
-/// bakes in its base seed); `threads` and `census_threads` only change
-/// wall-clock time.
+/// bakes in its base seed); `threads`, `census_threads`, and `trial_batch`
+/// only change wall-clock time.
 pub fn run_all_reports(
     effort: Effort,
     threads: usize,
     census_threads: usize,
+    trial_batch: usize,
 ) -> Vec<ExperimentReport> {
     registry()
         .iter()
-        .map(|experiment| experiment.run(effort, threads, census_threads))
+        .map(|experiment| experiment.run(effort, threads, census_threads, trial_batch))
         .collect()
 }
 
@@ -116,6 +153,25 @@ mod tests {
         assert!(
             registry().iter().any(|e| e.binary == "exp_fault_models"),
             "exp_fault_models missing from the registry — run_all would skip it"
+        );
+    }
+
+    #[test]
+    fn exactly_the_trial_fan_out_experiments_support_batching() {
+        let batched: Vec<&str> = registry()
+            .iter()
+            .filter(|e| e.supports_trial_batch)
+            .map(|e| e.binary)
+            .collect();
+        assert_eq!(
+            batched,
+            [
+                "exp_hypercube_giant",
+                "exp_mesh_threshold",
+                "exp_fault_models"
+            ],
+            "the --trial-batch consumers changed; update the binaries' \
+             warn_trial_batch_ignored list and docs/EXPERIMENTS.md"
         );
     }
 }

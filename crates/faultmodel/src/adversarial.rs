@@ -145,6 +145,17 @@ impl FaultModel for AdversarialBudget {
     fn pair_placement(&self, graph: &dyn Topology, pair: (VertexId, VertexId)) -> PairPlacement {
         PairPlacement::SeveredEdges(self.severed_edges(graph, pair))
     }
+
+    /// The adversarial column stays on the scalar engine. Its placement is
+    /// seed-independent, so packing it into lanes would be *possible* — but
+    /// the worst-case column is precisely the reference the trial-batched
+    /// engine is validated against, so it deliberately opts out: batched
+    /// entry points fall back to scalar measurement (with a single
+    /// [`crate::warn_scalar_fallback`] note) and the property suite asserts
+    /// the results are untouched.
+    fn lane_batchable(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -136,6 +136,26 @@ pub trait FaultModel {
             }
         }
     }
+
+    /// Whether this model's instances may be packed into the trial-batched
+    /// (multispin) store, where lane `l` of a batch starting at seed `s`
+    /// materialises `instance(graph, config.with_seed(s + l), pair)`.
+    ///
+    /// The default is `true`, and every *benign* model qualifies: its
+    /// instance is a pure per-seed function, so transposing 64 instances
+    /// into one word-per-edge store is a relayout with no cross-lane
+    /// interaction (the node-mask and severed-edge overlays only *close*
+    /// edges, and they densify per lane like any other `EdgeStates`).
+    ///
+    /// [`AdversarialBudget`] returns `false`: the worst-case column is the
+    /// reference the batched engine is validated against, so it is
+    /// deliberately kept on the scalar path — batched entry points must
+    /// fall back to the scalar engine (announcing it once through
+    /// [`warn_scalar_fallback`]) and produce bit-identical results, which
+    /// the property suite asserts.
+    fn lane_batchable(&self) -> bool {
+        true
+    }
 }
 
 /// The seed-independent, pair-dependent part of a model's fault placement —
@@ -176,6 +196,10 @@ impl<M: FaultModel + ?Sized> FaultModel for &M {
     ) -> FaultInstance {
         (**self).instance_from_placement(placement, graph, config, pair)
     }
+
+    fn lane_batchable(&self) -> bool {
+        (**self).lane_batchable()
+    }
 }
 
 impl<M: FaultModel + ?Sized> FaultModel for Box<M> {
@@ -205,6 +229,30 @@ impl<M: FaultModel + ?Sized> FaultModel for Box<M> {
     ) -> FaultInstance {
         (**self).instance_from_placement(placement, graph, config, pair)
     }
+
+    fn lane_batchable(&self) -> bool {
+        (**self).lane_batchable()
+    }
+}
+
+/// Announces — once per process — that a batched entry point fell back to
+/// the scalar engine for `model_name` (a model with
+/// [`FaultModel::lane_batchable`]` == false`, i.e. the adversary).
+///
+/// A single warning rather than one per measurement: an experiment grid
+/// evaluates the adversarial column at dozens of `(p, distance)` points,
+/// and the fallback is a documented property of the model, not a per-point
+/// surprise. The message goes to stderr so `run_all`'s stdout stays
+/// byte-identical with `--trial-batch` on and off.
+pub fn warn_scalar_fallback(model_name: &str) {
+    use std::sync::Once;
+    static WARNED: Once = Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "note: fault model '{model_name}' is not lane-batchable; \
+             its trials run on the scalar engine (results are identical)"
+        );
+    });
 }
 
 /// Which vertices of one fault instance are dead.

@@ -13,6 +13,10 @@
 //! * [`sample::BitsetSample`] — the same instance materialised once as a
 //!   bitset over canonical edge indices, turning the repeated `is_open`
 //!   queries of dense analytics into single bit reads.
+//! * [`trial_batch::TrialBatch`] — the transposed (multispin) layout: up to
+//!   64 *trials* of the same edge per word, so trial-fan-out workloads
+//!   advance every trial with single ALU ops; each lane is bit-identical
+//!   to the corresponding scalar trial.
 //! * [`subgraph::PercolatedGraph`] — a view of a topology restricted to open
 //!   edges.
 //! * [`components`], [`threshold`] — giant-component census and critical
@@ -33,10 +37,12 @@ pub mod diameter;
 pub mod sample;
 pub mod subgraph;
 pub mod threshold;
+pub mod trial_batch;
 pub mod union_find;
 
 pub use sample::{BitsetSample, EdgeSampler, EdgeStates, SampleBackend};
 pub use subgraph::PercolatedGraph;
+pub use trial_batch::{LaneView, TrialBatch};
 
 /// Parameters of a bond-percolation experiment: the edge retention
 /// probability `p` and the seed identifying one percolation instance.

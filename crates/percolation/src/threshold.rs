@@ -13,6 +13,7 @@ use faultnet_topology::Topology;
 
 use crate::components::ComponentCensus;
 use crate::sample::BitsetSample;
+use crate::trial_batch::{clamp_lanes, TrialBatch};
 use crate::PercolationConfig;
 
 /// Mean giant-component fraction of `graph` at probability `p`, averaged over
@@ -55,6 +56,64 @@ pub fn mean_giant_fraction_with_census_threads<T: Topology + Sync>(
     total / trials as f64
 }
 
+/// Like [`mean_giant_fraction_with_census_threads`], but trials are
+/// materialised through the trial-batched (multispin) store: chunks of up
+/// to `min(trial_batch, 64)` consecutive trials share one
+/// [`TrialBatch`], and each lane's census runs over a single-bit-read
+/// [`crate::LaneView`].
+///
+/// The mean is **bit-identical** to the scalar engine for every
+/// `trial_batch` value: lane `l` of the chunk starting at trial `t0`
+/// realises exactly the scalar trial `t0 + l` (same seed, same edge
+/// states, same canonical census labels), and the per-trial fractions are
+/// summed in trial order, so even the `f64` addition sequence matches.
+/// Topologies without a closed-form edge index fall back to the scalar
+/// loop outright. The equivalence suite in `tests/trial_equivalence.rs`
+/// pins both claims across the family zoo.
+///
+/// # Panics
+///
+/// Panics if `trials` or `trial_batch` is zero (`trial_batch = 0` means
+/// "batching off" at the CLI layer and must not reach this function).
+pub fn mean_giant_fraction_batched<T: Topology + Sync>(
+    graph: &T,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+    census_threads: usize,
+    trial_batch: usize,
+) -> f64 {
+    assert!(trials > 0, "at least one trial is required");
+    assert!(
+        trial_batch > 0,
+        "trial_batch 0 means 'off'; use the scalar engine"
+    );
+    if !TrialBatch::supported(graph) {
+        return mean_giant_fraction_with_census_threads(
+            graph,
+            p,
+            trials,
+            base_seed,
+            census_threads,
+        );
+    }
+    let lanes_per_chunk = clamp_lanes(trial_batch);
+    let mut total = 0.0;
+    let mut t0 = 0u32;
+    while t0 < trials {
+        let lanes = lanes_per_chunk.min((trials - t0) as usize);
+        let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t0 as u64));
+        let batch = TrialBatch::from_config(graph, &cfg, lanes);
+        for lane in 0..lanes {
+            let view = batch.lane_view(lane);
+            let census = ComponentCensus::compute_parallel(graph, &view, census_threads);
+            total += census.giant_fraction();
+        }
+        t0 += lanes as u32;
+    }
+    total / trials as f64
+}
+
 /// One point of a giant-fraction sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
@@ -92,6 +151,32 @@ pub fn giant_fraction_sweep_with_census_threads<T: Topology + Sync>(
                 trials,
                 base_seed,
                 census_threads,
+            ),
+        })
+        .collect()
+}
+
+/// Like [`giant_fraction_sweep_with_census_threads`], with each point's
+/// mean evaluated through [`mean_giant_fraction_batched`] (bit-identical
+/// points, batched wall clock).
+pub fn giant_fraction_sweep_batched<T: Topology + Sync>(
+    graph: &T,
+    ps: &[f64],
+    trials: u32,
+    base_seed: u64,
+    census_threads: usize,
+    trial_batch: usize,
+) -> Vec<SweepPoint> {
+    ps.iter()
+        .map(|&p| SweepPoint {
+            p,
+            giant_fraction: mean_giant_fraction_batched(
+                graph,
+                p,
+                trials,
+                base_seed,
+                census_threads,
+                trial_batch,
             ),
         })
         .collect()
@@ -147,6 +232,45 @@ pub fn estimate_threshold_with_census_threads<T: Topology + Sync>(
         let mid = 0.5 * (lo + hi);
         let fraction =
             mean_giant_fraction_with_census_threads(graph, mid, trials, base_seed, census_threads);
+        if fraction >= target_fraction {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Like [`estimate_threshold_with_census_threads`], with every
+/// giant-fraction evaluation on the trial-batched engine. Because the
+/// batched mean is bit-identical to the scalar mean at every probe point,
+/// the bisection takes exactly the same branch at every step and the
+/// estimate is bit-identical too.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`estimate_threshold`], plus when
+/// `trial_batch` is zero.
+pub fn estimate_threshold_batched<T: Topology + Sync>(
+    graph: &T,
+    target_fraction: f64,
+    trials: u32,
+    tolerance: f64,
+    base_seed: u64,
+    census_threads: usize,
+    trial_batch: usize,
+) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&target_fraction) && target_fraction > 0.0,
+        "target fraction must be in (0, 1)"
+    );
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while hi - lo > tolerance {
+        let mid = 0.5 * (lo + hi);
+        let fraction =
+            mean_giant_fraction_batched(graph, mid, trials, base_seed, census_threads, trial_batch);
         if fraction >= target_fraction {
             hi = mid;
         } else {
@@ -230,6 +354,44 @@ mod tests {
             giant_fraction_sweep(&torus, &[0.2, 0.6], 2, 5),
             giant_fraction_sweep_with_census_threads(&torus, &[0.2, 0.6], 2, 5, 3),
         );
+    }
+
+    #[test]
+    fn batched_mean_is_bit_identical_to_scalar() {
+        // The zoo-wide version lives in tests/trial_equivalence.rs; this
+        // pins the unit contract, including ragged tails (5 % 4 != 0).
+        let cube = Hypercube::new(7);
+        let scalar = mean_giant_fraction(&cube, 0.3, 5, 17);
+        for trial_batch in [1usize, 4, 64, 200] {
+            assert_eq!(
+                scalar,
+                mean_giant_fraction_batched(&cube, 0.3, 5, 17, 1, trial_batch),
+                "trial_batch {trial_batch}"
+            );
+        }
+        let torus = Torus::new(2, 12);
+        assert_eq!(
+            estimate_threshold(&torus, 0.25, 2, 0.05, 3),
+            estimate_threshold_batched(&torus, 0.25, 2, 0.05, 3, 1, 64),
+        );
+        assert_eq!(
+            giant_fraction_sweep(&torus, &[0.2, 0.6], 2, 5),
+            giant_fraction_sweep_batched(&torus, &[0.2, 0.6], 2, 5, 1, 3),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn batched_zero_trials_rejected() {
+        let mesh = Mesh::new(2, 4);
+        let _ = mean_giant_fraction_batched(&mesh, 0.5, 0, 0, 1, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial_batch 0")]
+    fn batched_zero_batch_rejected() {
+        let mesh = Mesh::new(2, 4);
+        let _ = mean_giant_fraction_batched(&mesh, 0.5, 1, 0, 1, 0);
     }
 
     #[test]

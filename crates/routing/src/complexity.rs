@@ -23,6 +23,7 @@ use faultnet_analysis::sweep::Sweep;
 use faultnet_faultmodel::FaultModel;
 use faultnet_percolation::bfs::connected;
 use faultnet_percolation::sample::EdgeStates;
+use faultnet_percolation::trial_batch::{clamp_lanes, LaneView, TrialBatch};
 use faultnet_percolation::PercolationConfig;
 use faultnet_topology::{Topology, VertexId};
 
@@ -564,6 +565,186 @@ impl<T: Topology> ComplexityHarness<T> {
         }
         stats
     }
+
+    /// Like [`ComplexityHarness::measure_parallel`], but runs the trials
+    /// through the trial-batched (multispin) engine: chunks of up to
+    /// `min(trial_batch, 64)` consecutive trials share one
+    /// [`TrialBatch`], the Definition 2 conditioning event `{u ∼ v}` is
+    /// decided for the whole chunk by one bit-parallel BFS
+    /// ([`TrialBatch::connected_lanes`]), and each conditioned lane is
+    /// routed over its single-bit-read [`LaneView`]. Chunks fan out across
+    /// `threads` workers, so batching multiplies with the trial fan-out
+    /// instead of competing with it.
+    ///
+    /// The statistics are **bit-identical** to [`ComplexityHarness::measure`]
+    /// for every `trial_batch` and `threads` value: lane `l` of the chunk
+    /// starting at trial `t0` reads exactly the edge states of the scalar
+    /// trial with seed `config.seed() + t0 + l` (the transpose is a
+    /// relayout, not a resample), the batched conditioning computes per lane
+    /// the same connectivity event as the scalar BFS/census, and outcomes
+    /// are folded in trial order. The `trial_equivalence` suites pin this
+    /// across routers, seeds, thread counts, and batch sizes. Topologies
+    /// without a closed-form edge index fall back to the scalar engine
+    /// outright.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `trial_batch == 0` (`0` is the CLI's
+    /// "batching off" sentinel and must not reach the engine), or under the
+    /// same router-error conditions as [`ComplexityHarness::measure`].
+    pub fn measure_batched<R>(
+        &self,
+        router: &R,
+        u: VertexId,
+        v: VertexId,
+        trials: u32,
+        trial_batch: usize,
+        threads: usize,
+    ) -> ComplexityStats
+    where
+        T: Sync,
+        R: Router<T, faultnet_percolation::EdgeSampler>
+            + for<'b, 'g> Router<T, LaneView<'b, 'g, T>>
+            + Sync,
+    {
+        assert!(threads > 0, "at least one thread is required");
+        assert!(
+            trial_batch > 0,
+            "trial_batch 0 means 'off'; use measure/measure_parallel"
+        );
+        if !TrialBatch::supported(&self.graph) {
+            return self.measure_parallel(router, u, v, trials, threads);
+        }
+        let name = Router::<T, faultnet_percolation::EdgeSampler>::name(router);
+        let lanes_per_chunk = clamp_lanes(trial_batch);
+        let starts: Vec<u32> = (0..trials).step_by(lanes_per_chunk).collect();
+        let run_chunk = |t0: u32| -> Vec<Option<TrialResult>> {
+            let lanes = lanes_per_chunk.min((trials - t0) as usize);
+            let cfg = self
+                .config
+                .with_seed(self.config.seed().wrapping_add(t0 as u64));
+            let batch = TrialBatch::from_config(&self.graph, &cfg, lanes);
+            let conditioned = batch.connected_lanes(u, v);
+            (0..lanes)
+                .map(|l| {
+                    (conditioned >> l & 1 == 1)
+                        .then(|| self.classify_trial(router, &batch.lane_view(l), u, v))
+                })
+                .collect()
+        };
+        let threads = threads.min(starts.len().max(1));
+        let per_chunk: Vec<Vec<Option<TrialResult>>> = if threads <= 1 {
+            starts.iter().map(|&t0| run_chunk(t0)).collect()
+        } else {
+            Sweep::over(starts)
+                .run_parallel(threads, |&t0| run_chunk(t0))
+                .into_iter()
+                .map(|point| point.value)
+                .collect()
+        };
+        let mut stats = ComplexityStats::empty(name, trials);
+        for result in per_chunk.into_iter().flatten().flatten() {
+            stats.record(result);
+        }
+        stats
+    }
+
+    /// Like [`ComplexityHarness::measure_batched`], but under an arbitrary
+    /// [`FaultModel`]: the hoisted placement builds one [`FaultInstance`]
+    /// per lane (seed `config.seed() + t0 + l`, exactly the scalar trial's
+    /// seed), and [`TrialBatch::from_lane_states`] transposes the chunk —
+    /// node-mask and severed-edge overlays densify per lane like any other
+    /// `EdgeStates` producer, so they compose identically on the batched
+    /// substrate (property-tested).
+    ///
+    /// Models with [`FaultModel::lane_batchable`]` == false` (the
+    /// adversary) fall back to
+    /// [`ComplexityHarness::measure_parallel_with_model`], announced once
+    /// per process via [`faultnet_faultmodel::warn_scalar_fallback`]; the
+    /// results are bit-identical either way.
+    ///
+    /// [`FaultInstance`]: faultnet_faultmodel::FaultInstance
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`ComplexityHarness::measure_batched`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_batched_with_model<M, R>(
+        &self,
+        model: &M,
+        router: &R,
+        u: VertexId,
+        v: VertexId,
+        trials: u32,
+        trial_batch: usize,
+        threads: usize,
+    ) -> ComplexityStats
+    where
+        T: Sync,
+        M: FaultModel + Sync + ?Sized,
+        R: Router<T, faultnet_faultmodel::FaultInstance>
+            + for<'b, 'g> Router<T, LaneView<'b, 'g, T>>
+            + Sync,
+    {
+        assert!(threads > 0, "at least one thread is required");
+        assert!(
+            trial_batch > 0,
+            "trial_batch 0 means 'off'; use measure/measure_parallel"
+        );
+        if !model.lane_batchable() {
+            faultnet_faultmodel::warn_scalar_fallback(&model.name());
+            return self.measure_parallel_with_model(model, router, u, v, trials, threads);
+        }
+        if !TrialBatch::supported(&self.graph) {
+            return self.measure_parallel_with_model(model, router, u, v, trials, threads);
+        }
+        let name = Router::<T, faultnet_faultmodel::FaultInstance>::name(router);
+        let placement = model.pair_placement(&self.graph, (u, v));
+        let lanes_per_chunk = clamp_lanes(trial_batch);
+        let starts: Vec<u32> = (0..trials).step_by(lanes_per_chunk).collect();
+        let run_chunk = |t0: u32| -> Vec<Option<TrialResult>> {
+            let lanes = lanes_per_chunk.min((trials - t0) as usize);
+            let instances: Vec<faultnet_faultmodel::FaultInstance> = (0..lanes)
+                .map(|l| {
+                    let seed = self
+                        .config
+                        .seed()
+                        .wrapping_add(t0 as u64)
+                        .wrapping_add(l as u64);
+                    model.instance_from_placement(
+                        &placement,
+                        &self.graph,
+                        self.config.with_seed(seed),
+                        (u, v),
+                    )
+                })
+                .collect();
+            let batch = TrialBatch::from_lane_states(&self.graph, &instances);
+            let conditioned = batch.connected_lanes(u, v);
+            (0..lanes)
+                .map(|l| {
+                    (conditioned >> l & 1 == 1)
+                        .then(|| self.classify_trial(router, &batch.lane_view(l), u, v))
+                })
+                .collect()
+        };
+        let threads = threads.min(starts.len().max(1));
+        let per_chunk: Vec<Vec<Option<TrialResult>>> = if threads <= 1 {
+            starts.iter().map(|&t0| run_chunk(t0)).collect()
+        } else {
+            Sweep::over(starts)
+                .run_parallel(threads, |&t0| run_chunk(t0))
+                .into_iter()
+                .map(|point| point.value)
+                .collect()
+        };
+        let mut stats = ComplexityStats::empty(name, trials);
+        for result in per_chunk.into_iter().flatten().flatten() {
+            stats.record(result);
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -834,6 +1015,98 @@ mod tests {
         let parallel =
             harness.measure_parallel_with_model(&model, &FloodRouter::new(), u, v, trials, 3);
         assert_eq!(cached, parallel);
+    }
+
+    #[test]
+    fn batched_measure_is_bit_identical_to_sequential() {
+        // The zoo-wide version lives in tests/trial_equivalence.rs; this
+        // unit test pins the contract on one family, including the ragged
+        // tail (14 % 4 != 0) and single-lane batches.
+        let cube = Hypercube::new(8);
+        for seed in [1u64, 42] {
+            let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.45, seed));
+            let (u, v) = cube.canonical_pair();
+            let scalar = harness.measure(&FloodRouter::new(), u, v, 14);
+            assert!(scalar.conditioned_trials() > 0, "vacuous check");
+            for trial_batch in [1usize, 4, 64, 200] {
+                for threads in [1usize, 3] {
+                    let batched = harness.measure_batched(
+                        &FloodRouter::new(),
+                        u,
+                        v,
+                        14,
+                        trial_batch,
+                        threads,
+                    );
+                    assert_eq!(
+                        scalar, batched,
+                        "seed {seed}, trial_batch {trial_batch}, threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_measure_preserves_budget_classification() {
+        let cube = Hypercube::new(8);
+        let harness =
+            ComplexityHarness::new(cube, PercolationConfig::new(0.5, 5)).with_probe_budget(3);
+        let (u, v) = cube.canonical_pair();
+        let scalar = harness.measure(&FloodRouter::new(), u, v, 10);
+        let batched = harness.measure_batched(&FloodRouter::new(), u, v, 10, 64, 2);
+        assert_eq!(scalar, batched);
+        assert!(batched.budget_exhaustions() > 0);
+    }
+
+    #[test]
+    fn batched_measure_with_zero_trials_is_empty() {
+        let cube = Hypercube::new(4);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.5, 1));
+        let (u, v) = cube.canonical_pair();
+        let stats = harness.measure_batched(&FloodRouter::new(), u, v, 0, 64, 4);
+        assert_eq!(stats.attempted_trials(), 0);
+        assert_eq!(stats.conditioned_trials(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial_batch 0")]
+    fn batched_measure_rejects_zero_batch() {
+        let cube = Hypercube::new(4);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.5, 1));
+        let (u, v) = cube.canonical_pair();
+        let _ = harness.measure_batched(&FloodRouter::new(), u, v, 4, 0, 1);
+    }
+
+    #[test]
+    fn every_fault_model_measures_bit_identically_batched() {
+        // Benign models ride the multispin store; the adversary declares
+        // itself non-batchable and falls back to the scalar engine. Either
+        // way the statistics must not move by a bit.
+        use faultnet_faultmodel::FaultModelSpec;
+        let cube = Hypercube::new(7);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.7, 5));
+        let (u, v) = cube.canonical_pair();
+        for spec in FaultModelSpec::ALL {
+            let model = spec.build();
+            let scalar = harness.measure_with_model(&model, &FloodRouter::new(), u, v, 12);
+            assert!(scalar.conditioned_trials() > 0, "{spec}: vacuous check");
+            for trial_batch in [1usize, 5, 64] {
+                let batched = harness.measure_batched_with_model(
+                    &model,
+                    &FloodRouter::new(),
+                    u,
+                    v,
+                    12,
+                    trial_batch,
+                    2,
+                );
+                assert_eq!(
+                    scalar, batched,
+                    "{spec} diverged at trial_batch {trial_batch}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Differential suite for the trial-batched complexity harness.
+//!
+//! The contract under test: [`ComplexityHarness::measure_batched`] and
+//! [`ComplexityHarness::measure_batched_with_model`] return a
+//! [`faultnet_routing::complexity::ComplexityStats`] **equal** (derived
+//! `Eq` — every counter, every probe count, the router name) to the
+//! sequential scalar measurement, for every router × fault model × thread
+//! count × batch size combination. Probe counts are folded in trial order
+//! on both paths, so even the probe-count *vector* must match element for
+//! element — the strongest equality the type can express.
+
+use faultnet_faultmodel::FaultModelSpec;
+use faultnet_percolation::trial_batch::LaneView;
+use faultnet_percolation::{EdgeSampler, PercolationConfig};
+use faultnet_routing::bfs::FloodRouter;
+use faultnet_routing::complexity::{ComplexityHarness, ComplexityStats};
+use faultnet_routing::hypercube::SegmentRouter;
+use faultnet_routing::mesh::MeshLandmarkRouter;
+use faultnet_routing::router::Router;
+use faultnet_topology::hypercube::Hypercube;
+use faultnet_topology::mesh::Mesh;
+use faultnet_topology::Topology;
+use proptest::prelude::*;
+
+/// The batch sizes the tentpole contract names.
+const BATCH_SIZES: [usize; 5] = [1, 63, 64, 65, 200];
+
+/// The thread counts the tentpole contract names.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Measures sequentially, then across the full batch-size × thread-count
+/// grid on the batched engine, asserting `ComplexityStats` equality.
+fn assert_batched_measure_identical<T, R>(
+    harness: &ComplexityHarness<T>,
+    router: &R,
+    trials: u32,
+    batch_sizes: &[usize],
+    context: &str,
+) where
+    T: Topology + Sync,
+    R: Router<T, EdgeSampler> + for<'b, 'g> Router<T, LaneView<'b, 'g, T>> + Sync,
+{
+    let (u, v) = harness.graph().canonical_pair();
+    let scalar: ComplexityStats = harness.measure(router, u, v, trials);
+    for &trial_batch in batch_sizes {
+        for threads in THREAD_COUNTS {
+            let batched = harness.measure_batched(router, u, v, trials, trial_batch, threads);
+            assert_eq!(
+                scalar, batched,
+                "{context}: batch {trial_batch}, threads {threads}"
+            );
+        }
+    }
+}
+
+proptest! {
+    // Every case runs a full batch × thread grid; keep the case count low
+    // (the exhaustive grid is the #[ignore] test below).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Benign measurement: the complete flood router and the paper's
+    /// Theorem 3 segment router on the hypercube, and the Theorem 4
+    /// landmark router on the mesh, all land on identical stats through
+    /// the multispin substrate.
+    #[test]
+    fn batched_measure_equals_scalar_for_every_router(
+        p in 0.3f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let cube_harness =
+            ComplexityHarness::new(Hypercube::new(6), PercolationConfig::new(p, seed));
+        assert_batched_measure_identical(
+            &cube_harness,
+            &FloodRouter::new(),
+            13,
+            &[1, 64],
+            &format!("flood on H_6, p {p}, seed {seed}"),
+        );
+        assert_batched_measure_identical(
+            &cube_harness,
+            &SegmentRouter::default(),
+            13,
+            &[1, 64],
+            &format!("segment on H_6, p {p}, seed {seed}"),
+        );
+        let mesh_harness =
+            ComplexityHarness::new(Mesh::new(2, 6), PercolationConfig::new(p, seed));
+        assert_batched_measure_identical(
+            &mesh_harness,
+            &MeshLandmarkRouter::new(),
+            13,
+            &[1, 64],
+            &format!("landmark on 6×6 mesh, p {p}, seed {seed}"),
+        );
+    }
+
+    /// Fault-model measurement: every pluggable model (benign lanes and the
+    /// adversary's scalar fallback alike) lands on identical stats.
+    #[test]
+    fn batched_measure_with_every_model_equals_scalar(
+        p in 0.5f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let harness = ComplexityHarness::new(Mesh::new(2, 5), PercolationConfig::new(p, seed));
+        let (u, v) = harness.graph().canonical_pair();
+        let router = MeshLandmarkRouter::new();
+        for spec in FaultModelSpec::ALL {
+            let model = spec.build();
+            let scalar = harness.measure_with_model(&model, &router, u, v, 9);
+            for trial_batch in [1usize, 64] {
+                for threads in [1usize, 2] {
+                    let batched = harness.measure_batched_with_model(
+                        &model, &router, u, v, 9, trial_batch, threads,
+                    );
+                    prop_assert_eq!(
+                        &scalar, &batched,
+                        "{}: batch {}, threads {}", spec, trial_batch, threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A ragged trial count (65 = one full word + one lane) must not drop or
+/// duplicate the tail trial on any configuration.
+#[test]
+fn ragged_tail_trials_are_neither_dropped_nor_duplicated() {
+    let harness = ComplexityHarness::new(Hypercube::new(5), PercolationConfig::new(0.6, 23));
+    let (u, v) = harness.graph().canonical_pair();
+    let router = FloodRouter::new();
+    let scalar = harness.measure(&router, u, v, 65);
+    assert_eq!(scalar.attempted_trials(), 65);
+    for trial_batch in BATCH_SIZES {
+        let batched = harness.measure_batched(&router, u, v, 65, trial_batch, 2);
+        assert_eq!(scalar, batched, "batch {trial_batch}");
+    }
+}
+
+/// The exhaustive router × model × thread × batch grid the proptest caps
+/// trim — `#[ignore]`d locally, run by the CI exhaustive job.
+#[test]
+#[ignore = "exhaustive cross-product; run via cargo test -- --ignored (CI exhaustive job)"]
+fn exhaustive_router_model_thread_batch_grid() {
+    for &(p, seed) in &[(0.45, 3u64), (0.7, 11), (0.9, 19)] {
+        let cube_harness =
+            ComplexityHarness::new(Hypercube::new(6), PercolationConfig::new(p, seed));
+        assert_batched_measure_identical(
+            &cube_harness,
+            &FloodRouter::new(),
+            40,
+            &BATCH_SIZES,
+            &format!("flood on H_6, p {p}, seed {seed}"),
+        );
+        assert_batched_measure_identical(
+            &cube_harness,
+            &SegmentRouter::default(),
+            40,
+            &BATCH_SIZES,
+            &format!("segment on H_6, p {p}, seed {seed}"),
+        );
+        let mesh_harness = ComplexityHarness::new(Mesh::new(2, 8), PercolationConfig::new(p, seed));
+        let (u, v) = mesh_harness.graph().canonical_pair();
+        let router = MeshLandmarkRouter::new();
+        assert_batched_measure_identical(
+            &mesh_harness,
+            &router,
+            40,
+            &BATCH_SIZES,
+            &format!("landmark on 8×8 mesh, p {p}, seed {seed}"),
+        );
+        for spec in FaultModelSpec::ALL {
+            let model = spec.build();
+            let scalar = mesh_harness.measure_with_model(&model, &router, u, v, 40);
+            for trial_batch in BATCH_SIZES {
+                for threads in THREAD_COUNTS {
+                    let batched = mesh_harness.measure_batched_with_model(
+                        &model,
+                        &router,
+                        u,
+                        v,
+                        40,
+                        trial_batch,
+                        threads,
+                    );
+                    assert_eq!(
+                        scalar, batched,
+                        "{spec}: p {p}, seed {seed}, batch {trial_batch}, threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+}

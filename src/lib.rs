@@ -63,6 +63,7 @@ pub mod prelude {
         components::ComponentCensus,
         sample::{BitsetSample, EdgeSampler},
         subgraph::PercolatedGraph,
+        trial_batch::{LaneView, TrialBatch},
         union_find::{AtomicUnionFind, UnionFind},
         PercolationConfig,
     };

@@ -24,29 +24,30 @@ use faultnet::experiments::{
 /// every fault model's parallel merge.
 #[test]
 fn run_all_quick_output_is_byte_identical_across_thread_counts() {
-    let render_suite = |threads: usize, census_threads: usize| -> (String, String) {
-        let reports = run_all_reports(Effort::Quick, threads, census_threads);
-        let text: String = reports
-            .iter()
-            .map(|r| r.render())
-            .collect::<Vec<_>>()
-            .join("\n");
-        let markdown: String = reports
-            .iter()
-            .map(|r| r.render_markdown())
-            .collect::<Vec<_>>()
-            .join("\n");
-        (text, markdown)
-    };
-    let baseline = render_suite(1, 1);
+    let render_suite =
+        |threads: usize, census_threads: usize, trial_batch: usize| -> (String, String) {
+            let reports = run_all_reports(Effort::Quick, threads, census_threads, trial_batch);
+            let text: String = reports
+                .iter()
+                .map(|r| r.render())
+                .collect::<Vec<_>>()
+                .join("\n");
+            let markdown: String = reports
+                .iter()
+                .map(|r| r.render_markdown())
+                .collect::<Vec<_>>()
+                .join("\n");
+            (text, markdown)
+        };
+    let baseline = render_suite(1, 1, 0);
     assert_eq!(
         baseline,
-        render_suite(2, 1),
+        render_suite(2, 1, 0),
         "threads=2 diverged from threads=1"
     );
     assert_eq!(
         baseline,
-        render_suite(4, 1),
+        render_suite(4, 1, 0),
         "threads=4 diverged from threads=1"
     );
     // The intra-census knob is held to the same contract as the trial
@@ -55,13 +56,26 @@ fn run_all_quick_output_is_byte_identical_across_thread_counts() {
     // equivalence suite in crates/percolation/tests/census_equivalence.rs).
     assert_eq!(
         baseline,
-        render_suite(1, 2),
+        render_suite(1, 2, 0),
         "census-threads=2 diverged from census-threads=1"
     );
     assert_eq!(
         baseline,
-        render_suite(2, 4),
+        render_suite(2, 4, 0),
         "threads=2 + census-threads=4 diverged from the sequential baseline"
+    );
+    // And the trial-batched engine: `--trial-batch 64` switches E8a/E8b/E11
+    // onto the multispin substrate, which must also not move a byte (the
+    // end-to-end half of crates/percolation/tests/trial_equivalence.rs).
+    assert_eq!(
+        baseline,
+        render_suite(1, 1, 64),
+        "trial-batch=64 diverged from the scalar engine"
+    );
+    assert_eq!(
+        baseline,
+        render_suite(2, 2, 7),
+        "threads=2 + census-threads=2 + trial-batch=7 diverged from the sequential baseline"
     );
 }
 
@@ -176,7 +190,7 @@ fn fault_models_report_compares_all_models() {
 #[test]
 fn run_all_enumerates_the_registry() {
     let experiments = registry();
-    let reports = run_all_reports(Effort::Quick, 2, 1);
+    let reports = run_all_reports(Effort::Quick, 2, 1, 0);
     assert_eq!(reports.len(), experiments.len());
     assert!(experiments.iter().any(|e| e.binary == "exp_fault_models"));
     // E11 runs last in registry order and is the fault-model matrix.
