@@ -14,8 +14,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faultnet_percolation::components::ComponentCensus;
-use faultnet_percolation::sample::BitsetSample;
-use faultnet_percolation::PercolationConfig;
+use faultnet_percolation::dynamic::{ChurnEvent, IncrementalCensus};
+use faultnet_percolation::sample::{BitsetSample, FrozenSample};
+use faultnet_percolation::{EdgeStates, PercolationConfig};
 use faultnet_topology::hypercube::Hypercube;
 use faultnet_topology::Topology;
 use std::time::Duration;
@@ -80,9 +81,73 @@ fn bench_hypercube_point_census_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// Incremental census steps vs from-scratch rescans under churn, across
+/// event-batch sizes k = 1, 16, 256 on H₁₄ and H₁₆. Each iteration fails a
+/// fixed batch of k open edges and repairs them again (two steps), so the
+/// structure returns to the same state every iteration — a steady-state
+/// measurement of the recent-churn case, where the failed edges sit at the
+/// top of the undo log and a step rewinds/replays only a short suffix. The
+/// `rescan` rows run the same two event batches through a mirror open set
+/// with a full `ComponentCensus::compute` after each, which is what the
+/// incremental engine replaces; the crossover batch size where rescan wins
+/// back (failures deep in the log degrade a step towards O(E) replay) reads
+/// straight out of the group. Throughput is events per iteration (2k).
+fn bench_incremental_vs_rescan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("census/incremental_vs_rescan");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for &n in &[14u32, 16] {
+        let cube = Hypercube::new(n);
+        let bitset = BitsetSample::from_config(&cube, &PercolationConfig::new(0.5, 7));
+        let open_edges: Vec<_> = cube
+            .edges()
+            .into_iter()
+            .filter(|e| bitset.is_open(*e))
+            .collect();
+        for &k in &[1usize, 16, 256] {
+            let fail: Vec<ChurnEvent> = open_edges
+                .iter()
+                .take(k)
+                .map(|&e| ChurnEvent::fail(e))
+                .collect();
+            let repair: Vec<ChurnEvent> = open_edges
+                .iter()
+                .take(k)
+                .map(|&e| ChurnEvent::repair(e))
+                .collect();
+            group.throughput(Throughput::Elements(2 * k as u64));
+            let mut incremental = IncrementalCensus::new(&cube, &bitset);
+            group.bench_with_input(BenchmarkId::new(format!("inc_k{k}"), n), &n, |b, _| {
+                b.iter(|| {
+                    incremental.step(&fail);
+                    incremental.step(&repair);
+                    incremental.largest_component_size()
+                })
+            });
+            let mut mirror = FrozenSample::from_open_edges(open_edges.iter().copied());
+            group.bench_with_input(BenchmarkId::new(format!("rescan_k{k}"), n), &n, |b, _| {
+                b.iter(|| {
+                    for event in &fail {
+                        mirror.close_edge(event.edge);
+                    }
+                    let after_fail =
+                        ComponentCensus::compute(&cube, &mirror).largest_component_size();
+                    for event in &repair {
+                        mirror.open_edge(event.edge);
+                    }
+                    after_fail + ComponentCensus::compute(&cube, &mirror).largest_component_size()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_census_seq_vs_par,
-    bench_hypercube_point_census_threads
+    bench_hypercube_point_census_threads,
+    bench_incremental_vs_rescan
 );
 criterion_main!(benches);

@@ -16,6 +16,7 @@ fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("exp_ablation");
     args.warn_trial_batch_ignored("exp_ablation");
+    args.warn_rescan_ignored("exp_ablation");
     let experiment = AblationExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads);

@@ -24,6 +24,7 @@ use faultnet_experiments::fault_models::FaultModelsExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.warn_rescan_ignored("exp_fault_models");
     let experiment = FaultModelsExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads)

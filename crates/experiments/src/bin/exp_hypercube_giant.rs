@@ -17,6 +17,7 @@ use faultnet_experiments::hypercube_giant::HypercubeGiantExperiment;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("exp_hypercube_giant");
+    args.warn_rescan_ignored("exp_hypercube_giant");
     let experiment = HypercubeGiantExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads)

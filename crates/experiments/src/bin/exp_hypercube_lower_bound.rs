@@ -16,6 +16,7 @@ fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("exp_hypercube_lower_bound");
     args.warn_trial_batch_ignored("exp_hypercube_lower_bound");
+    args.warn_rescan_ignored("exp_hypercube_lower_bound");
     let experiment = HypercubeLowerBoundExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads);

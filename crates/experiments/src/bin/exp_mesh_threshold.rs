@@ -17,6 +17,7 @@ use faultnet_experiments::mesh_threshold::MeshThresholdExperiment;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("exp_mesh_threshold");
+    args.warn_rescan_ignored("exp_mesh_threshold");
     let experiment = MeshThresholdExperiment::with_effort(args.effort)
         .with_threads(args.threads)
         .with_census_threads(args.census_threads)

@@ -25,6 +25,7 @@ use faultnet_experiments::suite::run_all_reports;
 fn main() {
     let args = ExpArgs::parse_env();
     args.warn_fault_model_ignored("run_all");
+    args.warn_rescan_ignored("run_all");
     let reports = run_all_reports(
         args.effort,
         args.threads,

@@ -29,6 +29,13 @@
 //!   to the scalar one — every emitted byte is the same for every `N` —
 //!   and the adversarial fault-model column always stays on the scalar
 //!   reference path.
+//! * `--rescan` — force a from-scratch component census at every churn
+//!   timestep instead of the incremental (rewindable union-find) engine.
+//!   Consumed by `exp_churn`; every other binary has no churn loop and
+//!   warns on stderr ([`ExpArgs::warn_rescan_ignored`]). The incremental
+//!   engine is bit-identical to the rescans — every emitted byte is the
+//!   same with and without the flag — so this knob only changes wall-clock
+//!   time (and serves CI as the equivalence cross-check).
 //! * `--markdown` — render the report as Markdown instead of plain text.
 //! * `--fault-model NAME` (or `--fault-model=NAME`) — select one named
 //!   fault model (`bernoulli-edges`, `bernoulli-nodes`,
@@ -83,6 +90,10 @@ pub struct ExpArgs {
     /// Trial-batch lane request: `0` (absent flag) = scalar engine,
     /// `N >= 1` = the multispin engine with `min(N, 64)` lanes per word.
     pub trial_batch: usize,
+    /// Whether `--rescan` was passed: force from-scratch per-timestep
+    /// censuses in the churn experiment instead of the incremental engine
+    /// (bit-identical output, different wall clock).
+    pub rescan: bool,
     /// Whether `--markdown` was passed.
     pub markdown: bool,
     /// The fault model selected with `--fault-model`, if any. `None` means
@@ -97,6 +108,7 @@ impl ExpArgs {
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let args: Vec<String> = args.into_iter().collect();
         let mut effort = Effort::Full;
+        let mut rescan = false;
         let mut markdown = false;
         let mut threads: usize = 0;
         // 1 = sequential census (the default); 0 = auto, resolved below.
@@ -113,6 +125,7 @@ impl ExpArgs {
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => effort = Effort::Quick,
+                "--rescan" => rescan = true,
                 "--markdown" => markdown = true,
                 "--threads" => {
                     // Only consume the lookahead token when it actually is a
@@ -194,6 +207,7 @@ impl ExpArgs {
             threads: resolve_threads(threads),
             census_threads: resolve_census_threads(census_threads),
             trial_batch,
+            rescan,
             markdown,
             fault_model,
         }
@@ -240,6 +254,20 @@ impl ExpArgs {
                  engine applies to the trial-fan-out experiments \
                  (exp_hypercube_giant, exp_mesh_threshold, exp_fault_models)",
                 self.trial_batch
+            );
+        }
+    }
+
+    /// Warns on stderr when `--rescan` was passed to a binary without a
+    /// churn loop — there is no per-timestep census to force from scratch.
+    /// Mirrors [`ExpArgs::warn_fault_model_ignored`]: silently accepting
+    /// the flag would let a user believe the rescan cross-check ran when
+    /// nothing rescanned.
+    pub fn warn_rescan_ignored(&self, binary: &str) {
+        if self.rescan {
+            eprintln!(
+                "--rescan is ignored by {binary}; only exp_churn walks a \
+                 churn schedule with per-timestep censuses"
             );
         }
     }
@@ -397,6 +425,26 @@ mod tests {
         assert!(args.markdown);
         let args = ExpArgs::parse(Vec::new());
         assert_eq!(args.fault_model, None);
+    }
+
+    #[test]
+    fn rescan_flag_forms() {
+        // Absent: the incremental engine.
+        assert!(!ExpArgs::parse(Vec::new()).rescan);
+        assert!(ExpArgs::parse(vec!["--rescan".into()]).rescan);
+        // A boolean flag: it must not swallow its neighbours.
+        let args = ExpArgs::parse(vec!["--rescan".into(), "--markdown".into()]);
+        assert!(args.rescan);
+        assert!(args.markdown);
+        // Orthogonal to the other knobs.
+        let args = ExpArgs::parse(vec![
+            "--quick".into(),
+            "--rescan".into(),
+            "--threads=2".into(),
+        ]);
+        assert_eq!(args.effort, Effort::Quick);
+        assert!(args.rescan);
+        assert_eq!(args.threads, 2);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | E9 | §6 open questions — constant-degree families | [`open_questions`] |
 //! | E10 | design-choice ablations | [`ablation`] |
 //! | E11 | fault-model scenarios — E4/E8a grids under node, correlated, and adversarial faults | [`fault_models`] |
+//! | E12 | dynamic fault churn — giant fraction and routability over time, incremental census | [`churn`] |
 //!
 //! Each module exposes an experiment struct with `quick()` (seconds; used by
 //! tests and Criterion benches) and `full()` (minutes; used by the `exp-*`
@@ -35,6 +36,7 @@
 
 pub mod ablation;
 pub mod chemical_distance;
+pub mod churn;
 pub mod cli;
 pub mod double_tree;
 pub mod exec;

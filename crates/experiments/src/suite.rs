@@ -15,8 +15,8 @@
 
 use crate::{
     ablation::AblationExperiment, chemical_distance::ChemicalDistanceExperiment,
-    double_tree::DoubleTreeExperiment, fault_models::FaultModelsExperiment, gnp::GnpExperiment,
-    hypercube_giant::HypercubeGiantExperiment,
+    churn::ChurnExperiment, double_tree::DoubleTreeExperiment, fault_models::FaultModelsExperiment,
+    gnp::GnpExperiment, hypercube_giant::HypercubeGiantExperiment,
     hypercube_lower_bound::HypercubeLowerBoundExperiment,
     hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
     mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment, Effort,
@@ -57,7 +57,7 @@ impl RegisteredExperiment {
     }
 }
 
-/// Every experiment, in canonical E1→E11 order. The one list to extend when
+/// Every experiment, in canonical E1→E12 order. The one list to extend when
 /// adding an experiment; `run_all` and the end-to-end tests derive from it.
 pub fn registry() -> Vec<RegisteredExperiment> {
     // A macro keeps each entry to one line and guarantees every experiment
@@ -111,6 +111,7 @@ pub fn registry() -> Vec<RegisteredExperiment> {
         "E9", "exp_open_questions", "§6 open questions — constant-degree families" => scalar OpenQuestionsExperiment;
         "E10", "exp_ablation", "design-choice ablations" => scalar AblationExperiment;
         "E11", "exp_fault_models", "fault-model scenario matrix (node/correlated/adversarial)" => batched FaultModelsExperiment;
+        "E12", "exp_churn", "dynamic fault churn — incremental census over fail/repair dynamics" => scalar ChurnExperiment;
     }
 }
 
@@ -153,6 +154,21 @@ mod tests {
         assert!(
             registry().iter().any(|e| e.binary == "exp_fault_models"),
             "exp_fault_models missing from the registry — run_all would skip it"
+        );
+    }
+
+    #[test]
+    fn churn_experiment_is_registered_as_scalar() {
+        let experiments = registry();
+        let churn = experiments
+            .iter()
+            .find(|e| e.binary == "exp_churn")
+            .expect("exp_churn missing from the registry — run_all would skip it");
+        assert_eq!(churn.id, "E12");
+        assert!(
+            !churn.supports_trial_batch,
+            "the churn walk is a single evolving instance per trial; there \
+             is no trial fan-out for the multispin engine to pack"
         );
     }
 

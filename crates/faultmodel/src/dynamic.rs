@@ -1,0 +1,341 @@
+//! Lowering static fault models to dynamic fail/repair schedules.
+//!
+//! A [`crate::FaultModel`] describes *one* frozen instance; the churn
+//! machinery in [`faultnet_percolation::dynamic`] describes how an instance
+//! *evolves*. This module is the seam between them: a
+//! [`DynamicFaultModel`] produces an initial instance plus a deterministic
+//! [`ChurnSchedule`], and two generic lowerings turn any static model into
+//! one:
+//!
+//! * [`Churned`] — the model's instance at `t = 0`, then
+//!   fail-stop-with-repair dynamics from a [`ChurnProcess`] (optionally
+//!   heterogeneous per-edge failure rates). The churn seed is derived from
+//!   the config seed through the SplitMix64 mixer with a fixed salt, so the
+//!   event stream is decorrelated from the substrate's edge draws but still
+//!   a pure function of the config.
+//! * [`Resampled`] — an independent fresh instance of the model every
+//!   timestep (seed `s + t·φ` for step `t`); the schedule is the edge-wise
+//!   diff between consecutive instances. This is the "memoryless world"
+//!   baseline: expensive to generate (O(E) per step) but exactly
+//!   reproduces repeated static sampling, which makes it a useful
+//!   cross-check for the incremental census.
+//!
+//! Both lowerings inherit the determinism contract of the static trait:
+//! `initial` and `schedule` are pure functions of
+//! `(model, graph, config, pair)`, so dynamic trials parallelise exactly
+//! like static ones.
+
+use faultnet_percolation::dynamic::{ChurnEvent, ChurnProcess, ChurnSchedule};
+use faultnet_percolation::sample::EdgeStates;
+use faultnet_percolation::PercolationConfig;
+use faultnet_topology::{Topology, VertexId};
+
+use crate::{FaultInstance, FaultModel};
+
+/// A dynamic fault model: an initial instance plus a deterministic churn
+/// schedule evolving it.
+///
+/// The contract mirrors [`FaultModel`]: both methods must be pure functions
+/// of their inputs, and `schedule` must be called with the `initial`
+/// instance produced by the same `(graph, config, pair)` — the schedule's
+/// fail events may only hit edges open in the state they evolve, and
+/// generators need the initial aliveness to guarantee that.
+pub trait DynamicFaultModel {
+    /// Stable, human-readable name with parameters (used in reports).
+    fn name(&self) -> String;
+
+    /// The instance the dynamics start from (`t = 0`).
+    fn initial(
+        &self,
+        graph: &dyn Topology,
+        config: PercolationConfig,
+        pair: Option<(VertexId, VertexId)>,
+    ) -> FaultInstance;
+
+    /// `timesteps` steps of churn evolving `initial` (which must be the
+    /// instance returned by [`DynamicFaultModel::initial`] for the same
+    /// `(graph, config, pair)`).
+    fn schedule(
+        &self,
+        graph: &dyn Topology,
+        config: PercolationConfig,
+        pair: Option<(VertexId, VertexId)>,
+        initial: &dyn EdgeStates,
+        timesteps: usize,
+    ) -> ChurnSchedule;
+}
+
+/// Salted derivation of the churn-process seed from the config seed, so the
+/// fail/repair draws are decorrelated from the substrate's edge draws (the
+/// static sampler multiplies the raw seed into its edge hash; feeding it the
+/// same value into a different mixer chain would still risk structured
+/// overlap, so we mix first).
+fn churn_seed(seed: u64) -> u64 {
+    // SplitMix64 finalizer, same constants as the percolation sampler.
+    let mut z = seed ^ 0x5851_F42D_4C95_7F2D;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Any static model + fail-stop-with-repair churn on its edges.
+///
+/// # Examples
+///
+/// ```
+/// use faultnet_faultmodel::{BernoulliEdges, FaultModel};
+/// use faultnet_faultmodel::dynamic::DynamicFaultModel;
+/// use faultnet_percolation::PercolationConfig;
+/// use faultnet_topology::{hypercube::Hypercube, Topology};
+///
+/// let cube = Hypercube::new(5);
+/// let config = PercolationConfig::new(0.6, 7);
+/// let model = BernoulliEdges.churned(0.05, 0.1);
+/// let initial = model.initial(&cube, config, None);
+/// let schedule = model.schedule(&cube, config, None, &initial, 10);
+/// assert_eq!(schedule.num_timesteps(), 10);
+/// // Pure function of the inputs: regenerating gives the same stream.
+/// assert_eq!(schedule, model.schedule(&cube, config, None, &initial, 10));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Churned<M> {
+    base: M,
+    fail_rate: f64,
+    repair_rate: f64,
+    heterogeneity: f64,
+}
+
+impl<M: FaultModel> Churned<M> {
+    /// Wraps `base` with per-step `fail_rate` on open edges and
+    /// `repair_rate` on closed ones (both in `[0, 1]`; validated by the
+    /// underlying [`ChurnProcess`] at schedule time).
+    pub fn new(base: M, fail_rate: f64, repair_rate: f64) -> Self {
+        Churned {
+            base,
+            fail_rate,
+            repair_rate,
+            heterogeneity: 0.0,
+        }
+    }
+
+    /// Sets the per-edge failure-rate spread (see
+    /// [`ChurnProcess::with_heterogeneity`]).
+    #[must_use]
+    pub fn with_heterogeneity(mut self, heterogeneity: f64) -> Self {
+        self.heterogeneity = heterogeneity;
+        self
+    }
+
+    /// The wrapped static model.
+    pub fn base(&self) -> &M {
+        &self.base
+    }
+}
+
+impl<M: FaultModel> DynamicFaultModel for Churned<M> {
+    fn name(&self) -> String {
+        format!(
+            "{}+churn(fail={}, repair={}, het={})",
+            self.base.name(),
+            self.fail_rate,
+            self.repair_rate,
+            self.heterogeneity
+        )
+    }
+
+    fn initial(
+        &self,
+        graph: &dyn Topology,
+        config: PercolationConfig,
+        pair: Option<(VertexId, VertexId)>,
+    ) -> FaultInstance {
+        self.base.instance(graph, config, pair)
+    }
+
+    fn schedule(
+        &self,
+        graph: &dyn Topology,
+        config: PercolationConfig,
+        _pair: Option<(VertexId, VertexId)>,
+        initial: &dyn EdgeStates,
+        timesteps: usize,
+    ) -> ChurnSchedule {
+        ChurnProcess::new(self.fail_rate, self.repair_rate, churn_seed(config.seed()))
+            .with_heterogeneity(self.heterogeneity)
+            .schedule(graph, initial, timesteps)
+    }
+}
+
+/// A fresh, independent instance of the model every timestep; the schedule
+/// is the edge diff between consecutive instances.
+#[derive(Debug, Clone, Copy)]
+pub struct Resampled<M> {
+    base: M,
+}
+
+impl<M: FaultModel> Resampled<M> {
+    /// Wraps `base`.
+    pub fn new(base: M) -> Self {
+        Resampled { base }
+    }
+
+    /// The wrapped static model.
+    pub fn base(&self) -> &M {
+        &self.base
+    }
+
+    /// The seed of the step-`t` instance (`t = 0` is `config.seed()`
+    /// itself, so the initial instance is the plain static one).
+    pub fn step_seed(config: PercolationConfig, t: usize) -> u64 {
+        config
+            .seed()
+            .wrapping_add((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl<M: FaultModel> DynamicFaultModel for Resampled<M> {
+    fn name(&self) -> String {
+        format!("{}+resampled", self.base.name())
+    }
+
+    fn initial(
+        &self,
+        graph: &dyn Topology,
+        config: PercolationConfig,
+        pair: Option<(VertexId, VertexId)>,
+    ) -> FaultInstance {
+        self.base.instance(graph, config, pair)
+    }
+
+    fn schedule(
+        &self,
+        graph: &dyn Topology,
+        config: PercolationConfig,
+        pair: Option<(VertexId, VertexId)>,
+        initial: &dyn EdgeStates,
+        timesteps: usize,
+    ) -> ChurnSchedule {
+        let edges = graph.edges();
+        let mut prev_open: Vec<bool> = edges.iter().map(|e| initial.is_open(*e)).collect();
+        let mut out = Vec::with_capacity(timesteps);
+        for t in 1..=timesteps {
+            let instance =
+                self.base
+                    .instance(graph, config.with_seed(Self::step_seed(config, t)), pair);
+            let mut events = Vec::new();
+            for (i, e) in edges.iter().enumerate() {
+                let open = instance.is_open(*e);
+                if open != prev_open[i] {
+                    prev_open[i] = open;
+                    events.push(if open {
+                        ChurnEvent::repair(*e)
+                    } else {
+                        ChurnEvent::fail(*e)
+                    });
+                }
+            }
+            out.push(events);
+        }
+        ChurnSchedule::from_events(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BernoulliEdges, BernoulliNodes};
+    use faultnet_percolation::dynamic::{EventKind, IncrementalCensus};
+    use faultnet_topology::hypercube::Hypercube;
+
+    #[test]
+    fn churned_initial_is_the_static_instance() {
+        let cube = Hypercube::new(6);
+        let config = PercolationConfig::new(0.55, 4);
+        let dynamic = BernoulliEdges.churned(0.1, 0.1);
+        let initial = dynamic.initial(&cube, config, None);
+        let static_instance = BernoulliEdges.instance(&cube, config, None);
+        for e in cube.edges() {
+            assert_eq!(initial.is_open(e), static_instance.is_open(e));
+        }
+    }
+
+    #[test]
+    fn churned_zero_rates_produce_an_empty_schedule() {
+        let cube = Hypercube::new(5);
+        let config = PercolationConfig::new(0.5, 1);
+        let dynamic = BernoulliNodes.churned(0.0, 0.0);
+        let initial = dynamic.initial(&cube, config, None);
+        let schedule = dynamic.schedule(&cube, config, None, &initial, 6);
+        assert_eq!(schedule.num_timesteps(), 6);
+        assert_eq!(schedule.total_events(), 0);
+    }
+
+    #[test]
+    fn churned_seed_changes_the_stream() {
+        let cube = Hypercube::new(5);
+        let dynamic = BernoulliEdges.churned(0.2, 0.2);
+        let a_cfg = PercolationConfig::new(0.5, 1);
+        let b_cfg = PercolationConfig::new(0.5, 2);
+        let a0 = dynamic.initial(&cube, a_cfg, None);
+        let b0 = dynamic.initial(&cube, b_cfg, None);
+        let a = dynamic.schedule(&cube, a_cfg, None, &a0, 6);
+        let b = dynamic.schedule(&cube, b_cfg, None, &b0, 6);
+        assert_ne!(a, b, "different seeds must give different churn");
+    }
+
+    #[test]
+    fn resampled_diff_replay_reproduces_direct_instances() {
+        // Applying the diff schedule step by step must land on exactly the
+        // step-t instance the static model would sample directly.
+        let cube = Hypercube::new(5);
+        let config = PercolationConfig::new(0.5, 8);
+        let dynamic = Resampled::new(BernoulliEdges);
+        let initial = dynamic.initial(&cube, config, None);
+        let schedule = dynamic.schedule(&cube, config, None, &initial, 5);
+        let mut census = IncrementalCensus::new(&cube, &initial);
+        for t in 1..=5 {
+            census.step(schedule.timestep(t - 1));
+            let direct = BernoulliEdges.instance(
+                &cube,
+                config.with_seed(Resampled::<BernoulliEdges>::step_seed(config, t)),
+                None,
+            );
+            for e in cube.edges() {
+                assert_eq!(
+                    census.is_open(e),
+                    direct.is_open(e),
+                    "diff replay diverged from the direct instance at t={t}, {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resampled_fail_events_only_hit_open_edges() {
+        let cube = Hypercube::new(5);
+        let config = PercolationConfig::new(0.5, 3);
+        let dynamic = BernoulliNodes.resampled();
+        let initial = dynamic.initial(&cube, config, None);
+        let schedule = dynamic.schedule(&cube, config, None, &initial, 4);
+        let mut census = IncrementalCensus::new(&cube, &initial);
+        for t in 0..schedule.num_timesteps() {
+            for event in schedule.timestep(t) {
+                match event.kind {
+                    EventKind::Fail => assert!(census.is_open(event.edge)),
+                    EventKind::Repair => assert!(!census.is_open(event.edge)),
+                }
+            }
+            census.step(schedule.timestep(t));
+        }
+    }
+
+    #[test]
+    fn names_identify_the_lowering() {
+        assert!(BernoulliEdges.churned(0.1, 0.2).name().contains("churn"));
+        assert!(BernoulliEdges.resampled().name().contains("resampled"));
+        assert_eq!(
+            BernoulliEdges.churned(0.1, 0.2).base().name(),
+            BernoulliEdges.name()
+        );
+    }
+}

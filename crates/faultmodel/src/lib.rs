@@ -31,6 +31,11 @@
 //! * [`adversarial::AdversarialBudget`] — a non-benign adversary (cf. Lenzen
 //!   et al., arXiv:2307.05547) severs a budget of `k` edges, placed greedily
 //!   on cut-heavy positions near the routed source–target pair.
+//! * [`dynamic`] — the churn seam: [`DynamicFaultModel`] lowers any static
+//!   model to an initial instance plus a deterministic fail/repair
+//!   [`faultnet_percolation::dynamic::ChurnSchedule`]
+//!   ([`FaultModel::churned`], [`FaultModel::resampled`]), feeding the
+//!   incremental census that E12 measures over time.
 //!
 //! # Determinism and thread-splitting contract
 //!
@@ -54,11 +59,13 @@ use faultnet_topology::{EdgeId, Topology, VertexId};
 pub mod adversarial;
 pub mod bernoulli;
 pub mod correlated;
+pub mod dynamic;
 pub mod spec;
 
 pub use adversarial::AdversarialBudget;
 pub use bernoulli::{BernoulliEdges, BernoulliNodes};
 pub use correlated::CorrelatedRegions;
+pub use dynamic::{Churned, DynamicFaultModel, Resampled};
 pub use spec::FaultModelSpec;
 
 /// A fault model: a deterministic recipe turning `(graph, config, pair)`
@@ -155,6 +162,26 @@ pub trait FaultModel {
     /// the property suite asserts.
     fn lane_batchable(&self) -> bool {
         true
+    }
+
+    /// Lowers this static model to a [`DynamicFaultModel`]: its instance at
+    /// `t = 0`, then fail-stop-with-repair churn at the given per-step
+    /// rates (see [`dynamic::Churned`]).
+    fn churned(self, fail_rate: f64, repair_rate: f64) -> dynamic::Churned<Self>
+    where
+        Self: Sized,
+    {
+        dynamic::Churned::new(self, fail_rate, repair_rate)
+    }
+
+    /// Lowers this static model to a [`DynamicFaultModel`] that resamples a
+    /// fresh, independent instance every timestep (see
+    /// [`dynamic::Resampled`]).
+    fn resampled(self) -> dynamic::Resampled<Self>
+    where
+        Self: Sized,
+    {
+        dynamic::Resampled::new(self)
     }
 }
 

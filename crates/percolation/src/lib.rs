@@ -26,6 +26,11 @@
 //!   used to verify the Antal–Pisztora input of Lemma 8.
 //! * [`branching`] — Galton–Watson analytics used by the double-tree results
 //!   (Lemma 6, Theorem 9).
+//! * [`dynamic`] — fail/repair churn schedules ([`dynamic::ChurnProcess`])
+//!   and the incremental census ([`dynamic::IncrementalCensus`], backed by
+//!   [`union_find::RewindableUnionFind`]) that tracks an evolving instance
+//!   without per-timestep rescans, bit-identical to a from-scratch census
+//!   at every step.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -34,12 +39,14 @@ pub mod branching;
 pub mod chemical;
 pub mod components;
 pub mod diameter;
+pub mod dynamic;
 pub mod sample;
 pub mod subgraph;
 pub mod threshold;
 pub mod trial_batch;
 pub mod union_find;
 
+pub use dynamic::{ChurnEvent, ChurnProcess, ChurnSchedule, EventKind, IncrementalCensus};
 pub use sample::{BitsetSample, EdgeSampler, EdgeStates, SampleBackend};
 pub use subgraph::PercolatedGraph;
 pub use trial_batch::{LaneView, TrialBatch};

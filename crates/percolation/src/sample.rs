@@ -47,8 +47,10 @@ pub trait EdgeStates {
     }
 }
 
-/// SplitMix64-style finalizer; full-period bijection on `u64`.
-fn mix64(mut z: u64) -> u64 {
+/// SplitMix64-style finalizer; full-period bijection on `u64`. Shared with
+/// the churn-schedule generators in [`crate::dynamic`], which must draw
+/// per-(edge, timestep) variates from the same quality of mixer.
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

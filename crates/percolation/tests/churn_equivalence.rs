@@ -1,0 +1,398 @@
+//! Zoo-wide differential suite for the incremental churn census — the
+//! tentpole equivalence proof of the dynamic-connectivity layer.
+//!
+//! The contract under test: after *every* timestep of *any* churn schedule,
+//! [`IncrementalCensus`] (rewindable union-find: repairs are unions,
+//! failures rewind the undo log and replay the surviving suffix) is
+//! **bit-identical** to a from-scratch [`ComponentCensus`] of the evolved
+//! open-edge set — not just in the giant size, but in *every* public
+//! accessor, for every family in the topology zoo. The schedules exercised
+//! here include the adversarial shapes a generator tuned for "plausible
+//! churn" would miss: repeated and contradictory events inside one
+//! timestep, events on already-failed/already-open edges, empty timesteps,
+//! and mass extinctions that rewind the undo log all the way past zero.
+
+use faultnet_percolation::{
+    components::ComponentCensus,
+    dynamic::{ChurnEvent, ChurnProcess, ChurnSchedule, IncrementalCensus},
+    sample::{BitsetSample, FrozenSample},
+    EdgeStates, PercolationConfig,
+};
+use faultnet_topology::{
+    binary_tree::BinaryTree,
+    butterfly::Butterfly,
+    complete::CompleteGraph,
+    cycle_matching::{CycleWithMatching, MatchingKind},
+    de_bruijn::DeBruijn,
+    double_tree::DoubleBinaryTree,
+    explicit::ExplicitGraph,
+    hypercube::Hypercube,
+    mesh::Mesh,
+    shuffle_exchange::ShuffleExchange,
+    torus::Torus,
+    Topology, VertexId,
+};
+use proptest::prelude::*;
+
+/// One small instance of every built-in family (the same zoo as the other
+/// equivalence suites).
+fn family_zoo() -> Vec<Box<dyn Topology + Sync>> {
+    vec![
+        Box::new(Hypercube::new(5)),
+        Box::new(Mesh::new(2, 5)),
+        Box::new(Torus::new(2, 4)),
+        Box::new(CompleteGraph::new(16)),
+        Box::new(DeBruijn::new(5)),
+        Box::new(ShuffleExchange::new(5)),
+        Box::new(Butterfly::new(3)),
+        Box::new(BinaryTree::new(4)),
+        Box::new(DoubleBinaryTree::new(3)),
+        Box::new(CycleWithMatching::new(16, MatchingKind::Antipodal)),
+        Box::new(CycleWithMatching::new(16, MatchingKind::Random { seed: 5 })),
+        Box::new(ExplicitGraph::from_topology(&Mesh::new(2, 4))),
+    ]
+}
+
+/// SplitMix64 step, used to derive adversarial explicit schedules from one
+/// proptest-drawn seed (the schedule shape itself is then fully
+/// deterministic and shrinkable through that seed).
+fn split_mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Compares every public accessor of the incremental census against a
+/// from-scratch census of the mirror open-edge set.
+fn assert_matches_rescan<T: Topology + ?Sized>(
+    graph: &T,
+    incremental: &IncrementalCensus,
+    open: &FrozenSample,
+    context: &str,
+) {
+    let scratch = ComponentCensus::compute(graph, open);
+    assert_eq!(
+        incremental.num_vertices(),
+        scratch.num_vertices(),
+        "num_vertices diverged: {context}"
+    );
+    assert_eq!(
+        incremental.num_open_edges(),
+        open.num_open(),
+        "num_open_edges diverged: {context}"
+    );
+    assert_eq!(
+        incremental.num_components(),
+        scratch.num_components(),
+        "num_components diverged: {context}"
+    );
+    assert_eq!(
+        incremental.largest_component_size(),
+        scratch.largest_component_size(),
+        "largest_component_size diverged: {context}"
+    );
+    // Exact f64 equality is intended: both fractions are computed from the
+    // same two integers.
+    assert_eq!(
+        incremental.giant_fraction(),
+        scratch.giant_fraction(),
+        "giant_fraction diverged: {context}"
+    );
+    assert_eq!(
+        incremental.sizes_descending(),
+        scratch.sizes_descending(),
+        "sizes_descending diverged: {context}"
+    );
+    assert_eq!(
+        incremental.second_largest_component_size(),
+        scratch.second_largest_component_size(),
+        "second_largest_component_size diverged: {context}"
+    );
+    assert_eq!(
+        incremental.giant_component_vertices(),
+        scratch.giant_component_vertices(),
+        "giant_component_vertices diverged: {context}"
+    );
+    for edge in graph.edges() {
+        assert_eq!(
+            incremental.is_open(edge),
+            open.is_open(edge),
+            "is_open({edge:?}) diverged: {context}"
+        );
+    }
+    let n = graph.num_vertices();
+    for v in (0..n).map(VertexId) {
+        assert_eq!(
+            incremental.component_of(v),
+            scratch.component_of(v),
+            "component_of({v}) diverged: {context}"
+        );
+        assert_eq!(
+            incremental.component_size(v),
+            scratch.component_size(v),
+            "component_size({v}) diverged: {context}"
+        );
+        assert_eq!(
+            incremental.in_giant(v),
+            scratch.in_giant(v),
+            "in_giant({v}) diverged: {context}"
+        );
+    }
+    // same_component over a deterministic pair sample (all-pairs would be
+    // quadratic across the whole zoo × timesteps × proptest cases).
+    for a in (0..n).step_by(3).map(VertexId) {
+        for b in [VertexId(0), VertexId(n / 2), VertexId(n - 1)] {
+            assert_eq!(
+                incremental.same_component(a, b),
+                scratch.same_component(a, b),
+                "same_component({a}, {b}) diverged: {context}"
+            );
+        }
+    }
+    // The census the incremental engine reconstructs for itself must agree
+    // with the one computed from the independently maintained mirror.
+    let own_rescan = incremental.rescan(graph);
+    assert_eq!(
+        own_rescan.sizes_descending(),
+        scratch.sizes_descending(),
+        "rescan() diverged from the mirror census: {context}"
+    );
+}
+
+/// Walks `schedule` with the incremental census and a mirror open set,
+/// asserting full-accessor agreement with a from-scratch census after the
+/// initial state and after every timestep.
+fn assert_schedule_equivalent<T: Topology + ?Sized, S: EdgeStates>(
+    graph: &T,
+    initial: &S,
+    schedule: &ChurnSchedule,
+    context: &str,
+) {
+    let mut incremental = IncrementalCensus::new(graph, initial);
+    let mut open =
+        FrozenSample::from_open_edges(graph.edges().into_iter().filter(|e| initial.is_open(*e)));
+    assert_matches_rescan(graph, &incremental, &open, &format!("{context}, t = 0"));
+    for (t, events) in schedule.iter().enumerate() {
+        incremental.step(events);
+        for event in events {
+            match event.kind {
+                faultnet_percolation::EventKind::Fail => {
+                    open.close_edge(event.edge);
+                }
+                faultnet_percolation::EventKind::Repair => {
+                    open.open_edge(event.edge);
+                }
+            }
+        }
+        assert_matches_rescan(
+            graph,
+            &incremental,
+            &open,
+            &format!("{context}, t = {}", t + 1),
+        );
+    }
+}
+
+/// An adversarial explicit schedule derived from one seed: per timestep a
+/// random number of events (possibly zero) drawn *with replacement* from
+/// the edge set with random kinds, so repeated edges, contradictory
+/// fail/repair pairs inside one timestep, and no-op events (failing closed
+/// edges, repairing open ones) all occur.
+fn adversarial_schedule<T: Topology + ?Sized>(
+    graph: &T,
+    schedule_seed: u64,
+    timesteps: usize,
+) -> ChurnSchedule {
+    let edges = graph.edges();
+    let mut state = schedule_seed;
+    let mut steps = Vec::with_capacity(timesteps);
+    for _ in 0..timesteps {
+        // 0..=2×|E| events: enough slack for heavy duplication, with a 1-in-4
+        // chance of an entirely empty timestep.
+        let count = if split_mix(&mut state) % 4 == 0 {
+            0
+        } else {
+            (split_mix(&mut state) as usize) % (2 * edges.len() + 1)
+        };
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let edge = edges[(split_mix(&mut state) as usize) % edges.len()];
+            let kind = split_mix(&mut state) % 2 == 0;
+            events.push(if kind {
+                ChurnEvent::fail(edge)
+            } else {
+                ChurnEvent::repair(edge)
+            });
+        }
+        steps.push(events);
+    }
+    ChurnSchedule::from_events(steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property, realistic-schedule half: across the zoo,
+    /// churn schedules generated by the fail-stop-with-repair process (with
+    /// heterogeneous per-edge failure rates) keep the incremental census in
+    /// full-accessor agreement with from-scratch rescans at every timestep.
+    #[test]
+    fn process_schedules_agree_with_rescans_across_the_zoo(
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+        fail_rate in 0.0f64..0.5,
+        repair_rate in 0.0f64..0.5,
+        heterogeneity in 0.0f64..1.0,
+    ) {
+        let cfg = PercolationConfig::new(p, seed);
+        for graph in family_zoo() {
+            let graph = graph.as_ref();
+            let initial = BitsetSample::from_config(graph, &cfg);
+            let process = ChurnProcess::new(fail_rate, repair_rate, seed ^ 0xC0FF_EE00)
+                .with_heterogeneity(heterogeneity);
+            let schedule = process.schedule(graph, &initial, 5);
+            assert_schedule_equivalent(
+                graph,
+                &initial,
+                &schedule,
+                &format!(
+                    "{} process churn, p {p}, seed {seed}, fail {fail_rate}, \
+                     repair {repair_rate}, het {heterogeneity}",
+                    graph.name()
+                ),
+            );
+        }
+    }
+
+    /// The headline property, adversarial half: explicit schedules with
+    /// repeated events, contradictory events inside a timestep, no-op
+    /// events, and empty timesteps — shapes the generative process never
+    /// produces — still agree with rescans at every timestep.
+    #[test]
+    fn adversarial_schedules_agree_with_rescans_across_the_zoo(
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+        schedule_seed in any::<u64>(),
+    ) {
+        let cfg = PercolationConfig::new(p, seed);
+        for graph in family_zoo() {
+            let graph = graph.as_ref();
+            let initial = BitsetSample::from_config(graph, &cfg);
+            let schedule = adversarial_schedule(graph, schedule_seed, 4);
+            assert_schedule_equivalent(
+                graph,
+                &initial,
+                &schedule,
+                &format!(
+                    "{} adversarial churn, p {p}, seed {seed}, schedule seed {schedule_seed}",
+                    graph.name()
+                ),
+            );
+        }
+    }
+
+    /// Mass extinction and rebirth: failing *every* edge rewinds the undo
+    /// log past every union (the rewind-past-zero edge case), and repairing
+    /// every edge afterwards rebuilds the full graph — both states, and the
+    /// empty timestep between them, must agree with rescans.
+    #[test]
+    fn mass_extinction_and_rebirth_agree_with_rescans(
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PercolationConfig::new(p, seed);
+        for graph in family_zoo() {
+            let graph = graph.as_ref();
+            let initial = BitsetSample::from_config(graph, &cfg);
+            let edges = graph.edges();
+            let schedule = ChurnSchedule::from_events(vec![
+                edges.iter().map(|&e| ChurnEvent::fail(e)).collect(),
+                Vec::new(),
+                edges.iter().map(|&e| ChurnEvent::repair(e)).collect(),
+            ]);
+            assert_schedule_equivalent(
+                graph,
+                &initial,
+                &schedule,
+                &format!("{} extinction/rebirth, p {p}, seed {seed}", graph.name()),
+            );
+        }
+    }
+}
+
+/// A zero-event schedule leaves the incremental census bit-identical to the
+/// static path: `IncrementalCensus::new` over the instance must equal
+/// `ComponentCensus::compute` on every accessor, before and after stepping
+/// through empty timesteps.
+#[test]
+fn zero_event_schedule_is_bit_identical_to_the_static_census() {
+    let cfg = PercolationConfig::new(0.55, 99);
+    for graph in family_zoo() {
+        let graph = graph.as_ref();
+        let initial = BitsetSample::from_config(graph, &cfg);
+        let schedule = ChurnSchedule::from_events(vec![Vec::new(), Vec::new(), Vec::new()]);
+        assert_schedule_equivalent(
+            graph,
+            &initial,
+            &schedule,
+            &format!("{} zero-event schedule", graph.name()),
+        );
+    }
+}
+
+/// Single-edge oscillation on a path graph: the same edge fails and is
+/// repaired over and over, which repeatedly rewinds to the same log
+/// position and replays the same suffix.
+#[test]
+fn single_edge_oscillation_agrees_with_rescans() {
+    let path = Mesh::new(1, 9);
+    let initial = BitsetSample::from_config(&path, &PercolationConfig::new(1.0, 0));
+    let middle = path.edges()[4];
+    let mut steps = Vec::new();
+    for _ in 0..6 {
+        steps.push(vec![ChurnEvent::fail(middle)]);
+        steps.push(vec![ChurnEvent::repair(middle)]);
+    }
+    assert_schedule_equivalent(
+        &path,
+        &initial,
+        &ChurnSchedule::from_events(steps),
+        "path single-edge oscillation",
+    );
+}
+
+/// All edges fail, then all repair, starting from the fully open graph:
+/// after the rebirth every accessor must agree with the `t = 0` census
+/// (pinning that a round trip through total destruction is lossless).
+#[test]
+fn fail_all_then_repair_all_restores_the_initial_census() {
+    for graph in family_zoo() {
+        let graph = graph.as_ref();
+        let initial = BitsetSample::from_config(graph, &PercolationConfig::new(1.0, 0));
+        let mut census = IncrementalCensus::new(graph, &initial);
+        let t0_sizes = census.sizes_descending();
+        let t0_components = census.num_components();
+        let edges = graph.edges();
+        let fail_all: Vec<ChurnEvent> = edges.iter().map(|&e| ChurnEvent::fail(e)).collect();
+        let repair_all: Vec<ChurnEvent> = edges.iter().map(|&e| ChurnEvent::repair(e)).collect();
+        census.step(&fail_all);
+        assert_eq!(
+            census.num_components(),
+            graph.num_vertices() as usize,
+            "{}: failing every edge must isolate every vertex",
+            graph.name()
+        );
+        assert_eq!(census.num_open_edges(), 0, "{}", graph.name());
+        census.step(&repair_all);
+        assert_eq!(
+            census.sizes_descending(),
+            t0_sizes,
+            "{}: rebirth must restore the t = 0 partition",
+            graph.name()
+        );
+        assert_eq!(census.num_components(), t0_components, "{}", graph.name());
+        assert_eq!(census.num_open_edges(), edges.len(), "{}", graph.name());
+    }
+}

@@ -1,0 +1,178 @@
+//! Direct property suite for [`RewindableUnionFind`] — the undo-log
+//! union-find the incremental churn census is built on.
+//!
+//! Three contracts:
+//!
+//! 1. **Undo is exact**: `rewind_to(mark)` restores the *entire* observable
+//!    state (partition, set sizes, canonical minima, size multiset,
+//!    `num_sets`) to what it was at `mark` — equivalently, rewinding after
+//!    extra unions equals replaying only the prefix on a fresh structure.
+//! 2. **`num_sets` bookkeeping**: every merging union decrements it, every
+//!    undone merge restores it, and a full unwind returns to `len()`.
+//! 3. **Interop**: on the same edge set, the rewindable structure induces
+//!    the same partition as [`UnionFind`] (path-compressing) and
+//!    [`AtomicUnionFind`] (lock-free), and its canonical minima coincide
+//!    with the atomic structure's min-root `find`.
+
+use faultnet_percolation::union_find::{AtomicUnionFind, RewindableUnionFind, UnionFind};
+use proptest::prelude::*;
+
+const N: usize = 24;
+
+/// Every observable of a [`RewindableUnionFind`], captured for equality
+/// checks: if two captures agree, the structures are indistinguishable
+/// through the public API.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    num_sets: usize,
+    min_of_set: Vec<usize>,
+    set_size: Vec<u64>,
+    largest: u64,
+    sizes_descending: Vec<u64>,
+}
+
+fn observe(uf: &RewindableUnionFind) -> Observed {
+    Observed {
+        num_sets: uf.num_sets(),
+        min_of_set: (0..uf.len()).map(|v| uf.min_of_set(v)).collect(),
+        set_size: (0..uf.len()).map(|v| uf.set_size(v)).collect(),
+        largest: uf.largest_set_size(),
+        sizes_descending: uf.sizes_descending(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contract 1, global form: mark anywhere in a union sequence, keep
+    /// going, then rewind — the result is indistinguishable from a fresh
+    /// structure that only ever saw the prefix.
+    #[test]
+    fn rewind_equals_replaying_the_prefix(
+        ops in proptest::collection::vec((0usize..N, 0usize..N), 0..80),
+        cut in 0usize..81,
+    ) {
+        let cut = cut.min(ops.len());
+        let mut uf = RewindableUnionFind::new(N);
+        for &(a, b) in &ops[..cut] {
+            uf.union(a, b);
+        }
+        let mark = uf.mark();
+        let before = observe(&uf);
+        for &(a, b) in &ops[cut..] {
+            uf.union(a, b);
+        }
+        uf.rewind_to(mark);
+        prop_assert_eq!(&observe(&uf), &before, "rewind did not restore the mark state");
+
+        let mut prefix_only = RewindableUnionFind::new(N);
+        for &(a, b) in &ops[..cut] {
+            prefix_only.union(a, b);
+        }
+        prop_assert_eq!(
+            &observe(&uf),
+            &observe(&prefix_only),
+            "rewound structure diverged from a prefix-only replay"
+        );
+    }
+
+    /// Contract 1, single-step form: one `undo` exactly reverses one
+    /// `union`, whether or not that union merged anything.
+    #[test]
+    fn undo_reverses_one_union(
+        ops in proptest::collection::vec((0usize..N, 0usize..N), 1..60),
+    ) {
+        let mut uf = RewindableUnionFind::new(N);
+        let (last, prefix) = ops.split_last().unwrap();
+        for &(a, b) in prefix {
+            uf.union(a, b);
+        }
+        let before = observe(&uf);
+        uf.union(last.0, last.1);
+        prop_assert!(uf.undo(), "a union always pushes exactly one undo record");
+        prop_assert_eq!(&observe(&uf), &before, "undo did not restore the prior state");
+    }
+
+    /// Contract 2: `num_sets` equals `len - merges` at every point, and a
+    /// full unwind restores the discrete partition.
+    #[test]
+    fn num_sets_bookkeeping_round_trips(
+        ops in proptest::collection::vec((0usize..N, 0usize..N), 0..80),
+    ) {
+        let mut uf = RewindableUnionFind::new(N);
+        let mut merges = 0usize;
+        for &(a, b) in &ops {
+            if uf.union(a, b) {
+                merges += 1;
+            }
+            prop_assert_eq!(uf.num_sets(), N - merges);
+        }
+        let mut undone = 0usize;
+        while uf.undo() {
+            undone += 1;
+        }
+        prop_assert_eq!(undone, ops.len(), "one undo record per union call");
+        prop_assert_eq!(uf.num_sets(), N, "full unwind must restore the discrete partition");
+        prop_assert_eq!(uf.sizes_descending(), vec![1u64; N]);
+        for v in 0..N {
+            prop_assert_eq!(uf.min_of_set(v), v);
+            prop_assert_eq!(uf.set_size(v), 1u64);
+        }
+    }
+
+    /// Contract 3: all three union-find implementations induce the same
+    /// partition from the same edge set, and the rewindable minima equal
+    /// the atomic min-roots.
+    #[test]
+    fn partitions_agree_with_union_find_and_atomic_union_find(
+        ops in proptest::collection::vec((0usize..N, 0usize..N), 0..80),
+    ) {
+        let mut rewindable = RewindableUnionFind::new(N);
+        let mut compressing = UnionFind::new(N);
+        let atomic = AtomicUnionFind::new(N);
+        for &(a, b) in &ops {
+            // Merge outcomes must agree call by call, not just in the end
+            // state: all three structures track the same partition.
+            let merged = rewindable.union(a, b);
+            prop_assert_eq!(compressing.union(a, b), merged);
+            prop_assert_eq!(atomic.union(a, b), merged);
+        }
+        prop_assert_eq!(rewindable.num_sets(), compressing.num_sets());
+        for v in 0..N {
+            // The atomic structure's find returns the set minimum directly;
+            // the rewindable structure exposes the same canonical label.
+            prop_assert_eq!(rewindable.min_of_set(v), atomic.find(v));
+            prop_assert_eq!(rewindable.set_size(v), compressing.set_size(v) as u64);
+        }
+        for a in 0..N {
+            for b in 0..N {
+                prop_assert_eq!(rewindable.connected(a, b), compressing.connected(a, b));
+                prop_assert_eq!(rewindable.connected(a, b), atomic.same_set(a, b));
+            }
+        }
+        prop_assert_eq!(
+            rewindable.largest_set_size(),
+            compressing.largest_set_size() as u64
+        );
+    }
+}
+
+/// Rewinding to the current log length is a no-op; rewinding past the log
+/// panics with a clear message rather than corrupting state.
+#[test]
+fn rewind_to_the_current_mark_is_a_noop() {
+    let mut uf = RewindableUnionFind::new(4);
+    uf.union(0, 1);
+    let mark = uf.mark();
+    let before = observe(&uf);
+    uf.rewind_to(mark);
+    assert_eq!(observe(&uf), before);
+}
+
+#[test]
+#[should_panic(expected = "beyond the undo log")]
+fn rewinding_beyond_the_log_panics() {
+    let mut uf = RewindableUnionFind::new(4);
+    uf.union(0, 1);
+    uf.rewind_to(5);
+}

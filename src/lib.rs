@@ -9,11 +9,12 @@
 //!   d-dimensional mesh, double binary tree, complete graph, …).
 //! * [`percolation`] — independent edge-failure substrate and percolation
 //!   analytics (components, thresholds, chemical distance, branching
-//!   processes).
+//!   processes, and incremental connectivity under fail/repair churn).
 //! * [`faultmodel`] — pluggable fault models beyond the paper's Bernoulli
 //!   edge faults: node (router) failures, correlated fault regions, and
 //!   budgeted adversarial cuts, all flowing through the same probe model
-//!   and measurement harness.
+//!   and measurement harness — plus dynamic lowerings that evolve any
+//!   static model over time.
 //! * [`routing`] — the paper's core contribution: the probe model, local and
 //!   oracle routing algorithms, the Lemma 5 lower-bound machinery, and the
 //!   routing-complexity measurement harness.
@@ -56,15 +57,16 @@ pub mod prelude {
         table::Table,
     };
     pub use faultnet_faultmodel::{
-        AdversarialBudget, BernoulliEdges, BernoulliNodes, CorrelatedRegions, FaultInstance,
-        FaultModel, FaultModelSpec, PairPlacement,
+        AdversarialBudget, BernoulliEdges, BernoulliNodes, Churned, CorrelatedRegions,
+        DynamicFaultModel, FaultInstance, FaultModel, FaultModelSpec, PairPlacement, Resampled,
     };
     pub use faultnet_percolation::{
         components::ComponentCensus,
+        dynamic::{ChurnEvent, ChurnProcess, ChurnSchedule, EventKind, IncrementalCensus},
         sample::{BitsetSample, EdgeSampler},
         subgraph::PercolatedGraph,
         trial_batch::{LaneView, TrialBatch},
-        union_find::{AtomicUnionFind, UnionFind},
+        union_find::{AtomicUnionFind, RewindableUnionFind, UnionFind},
         PercolationConfig,
     };
     pub use faultnet_routing::{

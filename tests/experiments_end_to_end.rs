@@ -3,6 +3,7 @@
 
 use faultnet::experiments::{
     chemical_distance::ChemicalDistanceExperiment,
+    churn::ChurnExperiment,
     double_tree::DoubleTreeExperiment,
     fault_models::FaultModelsExperiment,
     gnp::GnpExperiment,
@@ -185,6 +186,24 @@ fn fault_models_report_compares_all_models() {
     }
 }
 
+#[test]
+fn churn_report_stays_routable_and_is_engine_invariant() {
+    let report = ChurnExperiment::quick().run();
+    // One table per family, each a full time series.
+    assert!(report.tables().len() >= 2);
+    assert!(report.render().contains("under churn"));
+    // Stationary-matched rates keep the quick hypercube supercritical: the
+    // giant fraction in the final timestep stays macroscopic.
+    let last_row = report.tables()[0].rows().last().unwrap().clone();
+    let giant: f64 = last_row[2].parse().unwrap();
+    assert!(giant > 0.5, "giant fraction collapsed under churn: {giant}");
+    // The rescan engine is the end-to-end equivalence cross-check: forcing a
+    // from-scratch census per timestep must not move a byte.
+    let rescan = ChurnExperiment::quick().with_rescan(true).run();
+    assert_eq!(report.render(), rescan.render());
+    assert_eq!(report.render_markdown(), rescan.render_markdown());
+}
+
 /// `run_all` derives from the registry, so the report sequence and the
 /// registry must agree one to one — no second hand-maintained list.
 #[test]
@@ -193,6 +212,7 @@ fn run_all_enumerates_the_registry() {
     let reports = run_all_reports(Effort::Quick, 2, 1, 0);
     assert_eq!(reports.len(), experiments.len());
     assert!(experiments.iter().any(|e| e.binary == "exp_fault_models"));
-    // E11 runs last in registry order and is the fault-model matrix.
-    assert!(reports.last().unwrap().name().contains("fault-model"));
+    assert!(experiments.iter().any(|e| e.binary == "exp_churn"));
+    // E12 runs last in registry order and is the churn experiment.
+    assert!(reports.last().unwrap().name().contains("churn"));
 }
