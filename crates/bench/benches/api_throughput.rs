@@ -1,0 +1,89 @@
+//! Bench target for the query service: end-to-end HTTP round-trips
+//! against an in-process server, separating the cold path (a fresh
+//! measurement per request, cache capacity 1 with alternating keys so
+//! every request misses) from the warm path (every request after the
+//! first is a response-cache hit — a refcount bump plus one socket
+//! round-trip).
+//!
+//! The warm row is the serving-layer headline: the ISSUE's acceptance
+//! bar is ≥ 1k queries/sec sustained on the hypercube n = 14 probe query
+//! on a one-core box, and warm-path latency here is dominated by TCP
+//! connection setup, not measurement. The cold row prices what the cache
+//! and coalescer are saving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faultnet_server::http::roundtrip;
+use faultnet_server::serve::{serve, ServerConfig, ServerHandle};
+use std::time::Duration;
+
+/// The ISSUE's canned query: hypercube n = 14, Bernoulli edge faults at
+/// p = 0.45, probe count between the canonical antipodal pair.
+const WARM_QUERY: &[u8] = br#"{"family":"hypercube","n":14,"fault_model":"bernoulli-edges","p":0.45,"pair":[0,16383],"metric":"probes"}"#;
+
+fn start(cache_capacity: usize) -> ServerHandle {
+    serve(&ServerConfig {
+        workers: 2,
+        cache_capacity,
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback port")
+}
+
+fn post(addr: &str, body: &[u8]) {
+    let (status, response) = roundtrip(addr, "POST", "/query", body).expect("round-trip");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&response));
+}
+
+/// Warm path: one priming request, then every timed iteration hits the
+/// response cache. Throughput is requests/sec straight off the report.
+fn bench_warm_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api/warm");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(1));
+    let handle = start(256);
+    let addr = handle.addr.to_string();
+    post(&addr, WARM_QUERY); // prime: the only cold measurement
+    group.bench_with_input(BenchmarkId::new("hypercube_probes", 14), &(), |b, ()| {
+        b.iter(|| post(&addr, WARM_QUERY))
+    });
+    let healthz = |addr: &str| {
+        let (status, _) = roundtrip(addr, "GET", "/healthz", b"").expect("round-trip");
+        assert_eq!(status, 200);
+    };
+    // The no-work floor: same socket + parse cost, zero serving logic.
+    group.bench_with_input(BenchmarkId::new("healthz_floor", 0), &(), |b, ()| {
+        b.iter(|| healthz(&addr))
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+/// Cold path: capacity-1 caches and two alternating queries, so every
+/// request evicts the other's entry and recomputes. Small cube (n = 8)
+/// keeps a cold measurement in the milliseconds.
+fn bench_cold_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api/cold");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    let handle = start(1);
+    let addr = handle.addr.to_string();
+    let queries: [&[u8]; 2] = [
+        br#"{"family":"hypercube","n":8,"p":0.45,"metric":"probes","trials":8,"seed":1}"#,
+        br#"{"family":"hypercube","n":8,"p":0.45,"metric":"probes","trials":8,"seed":2}"#,
+    ];
+    let mut flip = 0usize;
+    group.bench_with_input(BenchmarkId::new("hypercube_probes", 8), &(), |b, ()| {
+        b.iter(|| {
+            flip ^= 1;
+            post(&addr, queries[flip]);
+        })
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_warm_cache, bench_cold_cache);
+criterion_main!(benches);

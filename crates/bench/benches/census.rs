@@ -144,10 +144,99 @@ fn bench_incremental_vs_rescan(c: &mut Criterion) {
     group.finish();
 }
 
+/// The previously *inverted* case: churn whose failures land uniformly
+/// across the whole undo log instead of at its recent top. The earliest
+/// failed edge then sits near the bottom, so before the rebuild fallback a
+/// step rewound and replayed almost the entire log — O(E) work per step
+/// that made H₁₈ uniform churn take twice as long incrementally (88 s) as
+/// with `--rescan` (44 s). With the fallback
+/// (`IncrementalCensus::should_rebuild`: rebuild when 2·suffix >
+/// survivors) the fail step now costs one from-scratch build — the same
+/// union pass a rescan pays — and the repair step stays incremental (k
+/// unions instead of a second full compute), so `inc_uniform` must come in
+/// at or below `rescan_uniform` on every size. Each iteration fails k open
+/// edges spread evenly through the log and repairs them again, returning
+/// the structure to the same state (steady-state, like the recent-churn
+/// group above).
+fn bench_uniform_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("census/incremental_vs_rescan");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for &n in &[16u32, 18] {
+        let cube = Hypercube::new(n);
+        let bitset = BitsetSample::from_config(&cube, &PercolationConfig::new(0.5, 7));
+        let open_edges: Vec<_> = cube
+            .edges()
+            .into_iter()
+            .filter(|e| bitset.is_open(*e))
+            .collect();
+        let k = 256usize;
+        let stride = open_edges.len() / k;
+        // Rotate the failed slice's offset every iteration: a repaired edge
+        // re-appends at the *top* of the log, so failing one fixed set would
+        // degenerate to the shallow recent-churn case after one iteration.
+        // A fresh stride-sampled slice keeps hitting edges that have sat
+        // deep in the log since the initial build, so every fail step stays
+        // on the deep side of the crossover.
+        let slice = move |offset: usize, open_edges: &[faultnet_topology::EdgeId]| {
+            let uniform: Vec<_> = open_edges
+                .iter()
+                .skip(offset)
+                .step_by(stride)
+                .take(k)
+                .copied()
+                .collect();
+            let fail: Vec<ChurnEvent> = uniform.iter().map(|&e| ChurnEvent::fail(e)).collect();
+            let repair: Vec<ChurnEvent> = uniform.iter().map(|&e| ChurnEvent::repair(e)).collect();
+            (fail, repair)
+        };
+        group.throughput(Throughput::Elements(2 * k as u64));
+        let mut incremental = IncrementalCensus::new(&cube, &bitset);
+        let mut inc_offset = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new(format!("inc_uniform_k{k}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let (fail, repair) = slice(inc_offset, &open_edges);
+                    inc_offset = (inc_offset + 1) % stride;
+                    incremental.step(&fail);
+                    incremental.step(&repair);
+                    incremental.largest_component_size()
+                })
+            },
+        );
+        let mut mirror = FrozenSample::from_open_edges(open_edges.iter().copied());
+        let mut rescan_offset = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new(format!("rescan_uniform_k{k}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let (fail, repair) = slice(rescan_offset, &open_edges);
+                    rescan_offset = (rescan_offset + 1) % stride;
+                    for event in &fail {
+                        mirror.close_edge(event.edge);
+                    }
+                    let after_fail =
+                        ComponentCensus::compute(&cube, &mirror).largest_component_size();
+                    for event in &repair {
+                        mirror.open_edge(event.edge);
+                    }
+                    after_fail + ComponentCensus::compute(&cube, &mirror).largest_component_size()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_census_seq_vs_par,
     bench_hypercube_point_census_threads,
-    bench_incremental_vs_rescan
+    bench_incremental_vs_rescan,
+    bench_uniform_churn
 );
 criterion_main!(benches);

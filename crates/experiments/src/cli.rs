@@ -105,6 +105,15 @@ pub struct ExpArgs {
 impl ExpArgs {
     /// Parses the given argument list (flags may appear in any order;
     /// unknown flags produce a warning on stderr and are skipped).
+    ///
+    /// The numeric value flags (`--threads`, `--census-threads`,
+    /// `--trial-batch`) obey one shared lookahead rule in their space-form,
+    /// the same rule `--fault-model` uses: the next token is consumed as the
+    /// value unless it is itself a flag. A malformed value therefore warns
+    /// **exactly once** (it is not re-reported as an unknown argument), and
+    /// a dangling flag — final token, or immediately followed by another
+    /// flag — warns once on stderr and swallows nothing, exactly like the
+    /// `=`-form's `value.parse().unwrap_or_else(warn)`.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let args: Vec<String> = args.into_iter().collect();
         let mut effort = Effort::Full;
@@ -128,40 +137,27 @@ impl ExpArgs {
                 "--rescan" => rescan = true,
                 "--markdown" => markdown = true,
                 "--threads" => {
-                    // Only consume the lookahead token when it actually is a
-                    // number, so `--threads --markdown` does not swallow the
-                    // next flag.
-                    match args.get(i + 1).and_then(|v| v.parse().ok()) {
-                        Some(n) => {
-                            threads = n;
-                            i += 1;
-                        }
-                        None => eprintln!("--threads expects a number; using auto"),
+                    let (value, consumed) = take_numeric_value(&args, i, "--threads", "using auto");
+                    if let Some(n) = value {
+                        threads = n;
                     }
+                    i += consumed;
                 }
                 "--census-threads" => {
-                    // Same lookahead rule as --threads.
-                    match args.get(i + 1).and_then(|v| v.parse().ok()) {
-                        Some(n) => {
-                            census_threads = n;
-                            i += 1;
-                        }
-                        None => {
-                            eprintln!("--census-threads expects a number; using the default of 1")
-                        }
+                    let (value, consumed) =
+                        take_numeric_value(&args, i, "--census-threads", "using the default of 1");
+                    if let Some(n) = value {
+                        census_threads = n;
                     }
+                    i += consumed;
                 }
                 "--trial-batch" => {
-                    // Same lookahead rule as --threads.
-                    match args.get(i + 1).and_then(|v| v.parse().ok()) {
-                        Some(n) => {
-                            trial_batch = n;
-                            i += 1;
-                        }
-                        None => {
-                            eprintln!("--trial-batch expects a number; keeping the scalar engine")
-                        }
+                    let (value, consumed) =
+                        take_numeric_value(&args, i, "--trial-batch", "keeping the scalar engine");
+                    if let Some(n) = value {
+                        trial_batch = n;
                     }
+                    i += consumed;
                 }
                 "--fault-model" => {
                     // Same lookahead rule as --threads: consume the next
@@ -291,6 +287,44 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// stored 0 still get auto).
 pub fn resolve_census_threads(requested: usize) -> usize {
     resolve_threads(requested)
+}
+
+/// The shared lookahead rule for the space-form numeric flags
+/// (`--threads N`, `--census-threads N`, `--trial-batch N`).
+///
+/// The token after the flag is consumed as the value unless it is itself a
+/// flag (starts with `--`). Three cases:
+///
+/// * next token parses as a number — `(Some(n), 1)`: value kept, token
+///   consumed;
+/// * next token is a non-flag that does not parse (`--threads lots`) —
+///   `(None, 1)`: warns once on stderr, token consumed so the main loop
+///   does not re-report it as an unknown argument;
+/// * flag is the final token or followed by another flag — `(None, 0)`:
+///   warns once on stderr, nothing swallowed.
+///
+/// `fallback` names the behaviour kept on failure in the warning, so the
+/// space-form message is byte-identical to the `=`-form's
+/// `value.parse().unwrap_or_else(warn)` message.
+fn take_numeric_value(
+    args: &[String],
+    i: usize,
+    flag: &str,
+    fallback: &str,
+) -> (Option<usize>, usize) {
+    match args.get(i + 1).map(String::as_str) {
+        Some(value) if !value.starts_with("--") => match value.parse() {
+            Ok(n) => (Some(n), 1),
+            Err(_) => {
+                eprintln!("{flag} expects a number; {fallback}");
+                (None, 1)
+            }
+        },
+        _ => {
+            eprintln!("{flag} expects a number; {fallback}");
+            (None, 0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -457,5 +491,43 @@ mod tests {
         assert!(args.threads >= 1);
         let args = ExpArgs::parse(vec!["--threads".into(), "--quick".into()]);
         assert_eq!(args.effort, Effort::Quick);
+    }
+
+    #[test]
+    fn numeric_flags_as_the_final_token_keep_their_defaults() {
+        // A dangling flag — nothing after it to look at — warns on stderr
+        // and keeps the default, exactly like the `=`-form with a malformed
+        // value. It must not panic and must not disturb earlier flags.
+        let args = ExpArgs::parse(vec!["--quick".into(), "--threads".into()]);
+        assert_eq!(args.effort, Effort::Quick);
+        assert!(args.threads >= 1, "dangling --threads resolves to auto");
+
+        let args = ExpArgs::parse(vec!["--census-threads".into()]);
+        assert_eq!(args.census_threads, 1);
+
+        let args = ExpArgs::parse(vec!["--trial-batch".into()]);
+        assert_eq!(args.trial_batch, 0);
+    }
+
+    #[test]
+    fn malformed_numeric_values_are_consumed_not_reparsed() {
+        // `--threads lots` consumes the bad token: it warns once as a bad
+        // number and is NOT re-reported as an unknown argument, so the
+        // space-form and `=`-form agree token for token. The surrounding
+        // flags still parse.
+        let args = ExpArgs::parse(vec!["--threads".into(), "lots".into(), "--markdown".into()]);
+        assert!(args.threads >= 1);
+        assert!(args.markdown);
+
+        let args = ExpArgs::parse(vec![
+            "--census-threads".into(),
+            "many".into(),
+            "--quick".into(),
+        ]);
+        assert_eq!(args.census_threads, 1);
+        assert_eq!(args.effort, Effort::Quick);
+
+        let args = ExpArgs::parse(vec!["--trial-batch".into(), "wide".into()]);
+        assert_eq!(args.trial_batch, 0);
     }
 }

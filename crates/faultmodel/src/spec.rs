@@ -73,6 +73,20 @@ impl FaultModelSpec {
             })
     }
 
+    /// Whether this model's instances depend on the routed pair.
+    ///
+    /// The benign models are pair-*independent* by the [`FaultModel`]
+    /// contract — `instance(graph, config, pair)` materialises the same
+    /// edge set for every `pair` (and for `None`) — so a cache of their
+    /// instances may be keyed on `(graph, model, config)` alone and shared
+    /// across pairs. The budgeted adversary places its cut set around the
+    /// routed pair ([`FaultModel::pair_placement`]), so its cache keys must
+    /// include the pair or one pair's cut would answer another pair's
+    /// query. The serving layer's census cache keys on exactly this split.
+    pub fn pair_dependent(&self) -> bool {
+        matches!(self, FaultModelSpec::AdversarialBudget)
+    }
+
     /// Builds the model with its default shape parameters.
     pub fn build(&self) -> Box<dyn FaultModel + Send + Sync> {
         match self {
@@ -99,6 +113,17 @@ mod tests {
         for spec in FaultModelSpec::ALL {
             assert_eq!(FaultModelSpec::parse(spec.cli_name()), Ok(spec));
             assert_eq!(spec.to_string(), spec.cli_name());
+        }
+    }
+
+    #[test]
+    fn only_the_adversary_is_pair_dependent() {
+        for spec in FaultModelSpec::ALL {
+            assert_eq!(
+                spec.pair_dependent(),
+                spec == FaultModelSpec::AdversarialBudget,
+                "{spec}: pair-dependence must match the placement contract"
+            );
         }
     }
 

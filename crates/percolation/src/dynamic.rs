@@ -32,12 +32,17 @@
 //! simulates them by rewinding its undo log to just before the *earliest*
 //! deleted edge was applied and replaying the surviving suffix. Repairs and
 //! recently-applied failures are therefore near-free, while failing a very
-//! old edge costs a deep rewind — in the worst case (uniformly random
-//! failures over a large open set) a step degrades to the rescan's O(E),
-//! though with a much smaller constant (replay is pointer-chasing over an
-//! already-materialised edge list; a rescan re-queries every edge state and
-//! re-folds every vertex). The `census/incremental_vs_rescan` bench group
-//! records the crossover.
+//! old edge would cost a deep rewind *plus* a near-full replay — twice the
+//! work of starting over. [`IncrementalCensus::step`] therefore tracks the
+//! rewind depth and, past the crossover pinned by
+//! [`IncrementalCensus::should_rebuild`] (`2 · suffix > survivors`), falls
+//! back to a from-scratch rebuild of the surviving edge list — never more
+//! than ≈ one rescan's worth of unions, and still cheaper than a true
+//! rescan (the rebuild walks an already-materialised edge list; a rescan
+//! re-queries every edge state and re-folds every vertex). The
+//! `census/incremental_vs_rescan` bench group records both the steady-state
+//! recent-churn costs and the uniform-churn case that previously inverted
+//! (incremental slower than `--rescan`) before the fallback existed.
 
 use std::collections::{HashMap, HashSet};
 
@@ -309,8 +314,13 @@ pub struct StepStats {
     pub repaired: usize,
     /// Undo-log entries rewound to evict the failed edges.
     pub rewound: usize,
-    /// Surviving edges re-applied after the rewind.
+    /// Surviving edges re-applied after the rewind (or, on a rebuild, the
+    /// surviving edges unioned into the fresh structure).
     pub replayed: usize,
+    /// Whether the step fell back to a from-scratch rebuild because the
+    /// rewind would have unwound more of the undo log than rebuilding costs
+    /// (see [`IncrementalCensus::should_rebuild`]).
+    pub rebuilt: bool,
 }
 
 /// A component census over an *evolving* open-edge set.
@@ -417,23 +427,47 @@ impl IncrementalCensus {
             ..StepStats::default()
         };
         if !to_remove.is_empty() {
-            // Rewind to just before the earliest removed edge was applied,
-            // then replay the surviving suffix in its original order.
             let mark = to_remove
                 .iter()
                 .map(|e| self.pos[e])
                 .min()
                 .expect("to_remove is non-empty");
-            stats.rewound = self.applied.len() - mark;
-            self.uf.rewind_to(mark);
-            let suffix = self.applied.split_off(mark);
-            for edge in &suffix {
-                self.pos.remove(edge);
-            }
-            for edge in suffix {
-                if !to_remove.contains(&edge) {
+            let suffix_len = self.applied.len() - mark;
+            let survivors = self.applied.len() - to_remove.len();
+            if Self::should_rebuild(suffix_len, survivors) {
+                // The earliest failed edge sits so deep in the undo log that
+                // unwinding to it (and replaying nearly everything) costs
+                // more than starting over: rebuild a fresh structure from
+                // the surviving edges, in their original application order.
+                stats.rebuilt = true;
+                stats.replayed = survivors;
+                let surviving: Vec<EdgeId> = self
+                    .applied
+                    .iter()
+                    .copied()
+                    .filter(|e| !to_remove.contains(e))
+                    .collect();
+                self.uf = RewindableUnionFind::new(self.num_vertices as usize);
+                self.applied.clear();
+                self.pos.clear();
+                for edge in surviving {
                     self.apply(edge);
-                    stats.replayed += 1;
+                }
+            } else {
+                // Rewind to just before the earliest removed edge was
+                // applied, then replay the surviving suffix in its original
+                // order.
+                stats.rewound = suffix_len;
+                self.uf.rewind_to(mark);
+                let suffix = self.applied.split_off(mark);
+                for edge in &suffix {
+                    self.pos.remove(edge);
+                }
+                for edge in suffix {
+                    if !to_remove.contains(&edge) {
+                        self.apply(edge);
+                        stats.replayed += 1;
+                    }
                 }
             }
         }
@@ -536,6 +570,25 @@ impl IncrementalCensus {
             .filter(|&v| self.component_of(VertexId(v)) == label)
             .map(VertexId)
             .collect()
+    }
+
+    /// Decides whether a failure step should fall back to a from-scratch
+    /// rebuild instead of rewinding the undo log.
+    ///
+    /// A rewind step unwinds `suffix_len` undo records and then re-unions
+    /// the surviving part of the suffix (≈ `suffix_len` more operations of
+    /// the same magnitude), so its cost is ≈ `2 · suffix_len`. A rebuild
+    /// applies every surviving edge once (`survivors` unions) plus an O(V)
+    /// array reset. The crossover is therefore at `suffix_len ≈
+    /// survivors / 2`: past it, unwinding is strictly more pointer-chasing
+    /// than starting over, which is exactly the inversion the E12 uniform
+    /// churn exhibited (failures land uniformly over the open set, so the
+    /// earliest one sits near the bottom of the log and every step replayed
+    /// almost everything — twice). Both paths produce identical partitions
+    /// on every public accessor (canonical min-vertex labels), so this is a
+    /// pure wall-clock decision; the crossover itself is pinned by test.
+    pub fn should_rebuild(suffix_len: usize, survivors: usize) -> bool {
+        2 * suffix_len > survivors
     }
 
     fn apply(&mut self, edge: EdgeId) {
@@ -662,17 +715,101 @@ mod tests {
         let mesh = Mesh::new(1, 5); // path 0-1-2-3-4, all open
         let sampler = PercolationConfig::new(1.0, 0).sampler();
         let mut census = IncrementalCensus::new(&mesh, &sampler);
-        // Fail the first-applied edge: everything rewinds, 3 edges replay.
-        let stats = census.step(&[ChurnEvent::fail(edge(0, 1))]);
+        // Fail the *last*-applied edge: a one-entry rewind, nothing replays,
+        // and the rewind path (not the rebuild fallback) handles it.
+        let stats = census.step(&[ChurnEvent::fail(edge(3, 4))]);
         assert_eq!(stats.failed, 1);
-        assert_eq!(stats.rewound, 4);
-        assert_eq!(stats.replayed, 3);
+        assert_eq!(stats.rewound, 1);
+        assert_eq!(stats.replayed, 0);
+        assert!(!stats.rebuilt);
         assert_eq!(census.num_components(), 2);
         // Repair it back: pure union, no rewind.
-        let stats = census.step(&[ChurnEvent::repair(edge(0, 1))]);
+        let stats = census.step(&[ChurnEvent::repair(edge(3, 4))]);
         assert_eq!(stats.repaired, 1);
         assert_eq!(stats.rewound, 0);
         assert_eq!(census.num_components(), 1);
+    }
+
+    #[test]
+    fn deep_failures_fall_back_to_a_rebuild() {
+        let mesh = Mesh::new(1, 5); // path 0-1-2-3-4, all open
+        let sampler = PercolationConfig::new(1.0, 0).sampler();
+        let mut census = IncrementalCensus::new(&mesh, &sampler);
+        // Fail the first-applied edge: the rewind would unwind all 4 undo
+        // entries to salvage 3 survivors (2·4 > 3), so the census rebuilds.
+        let stats = census.step(&[ChurnEvent::fail(edge(0, 1))]);
+        assert_eq!(stats.failed, 1);
+        assert!(stats.rebuilt);
+        assert_eq!(stats.rewound, 0, "a rebuild never walks the undo log");
+        assert_eq!(stats.replayed, 3, "every survivor is re-applied");
+        assert_eq!(census.num_components(), 2);
+        assert_eq!(census.num_open_edges(), 3);
+        // The rebuilt partition is indistinguishable from a fresh census.
+        let reference = census.rescan(&mesh);
+        assert_eq!(census.sizes_descending(), reference.sizes_descending());
+        for v in 0..mesh.num_vertices() {
+            assert_eq!(
+                census.component_of(VertexId(v)),
+                reference.component_of(VertexId(v))
+            );
+        }
+        // And the structure keeps working incrementally afterwards.
+        let stats = census.step(&[ChurnEvent::repair(edge(0, 1))]);
+        assert_eq!(stats.repaired, 1);
+        assert!(!stats.rebuilt);
+        assert_eq!(census.num_components(), 1);
+    }
+
+    #[test]
+    fn rebuild_crossover_is_two_suffix_entries_per_survivor() {
+        // The fallback threshold itself, pinned: rebuild exactly when the
+        // rewind would unwind more than half a survivor's worth of undo
+        // entries (2 · suffix > survivors).
+        assert!(!IncrementalCensus::should_rebuild(0, 0));
+        assert!(!IncrementalCensus::should_rebuild(5, 10));
+        assert!(IncrementalCensus::should_rebuild(6, 10));
+        assert!(!IncrementalCensus::should_rebuild(50, 100));
+        assert!(IncrementalCensus::should_rebuild(51, 100));
+        assert!(IncrementalCensus::should_rebuild(1, 1));
+        assert!(!IncrementalCensus::should_rebuild(1, 2));
+    }
+
+    #[test]
+    fn rebuild_and_rewind_paths_agree_at_the_crossover() {
+        // Drive the same uniform churn through the census and cross-check
+        // against from-scratch rescans at every step; the schedule's uniform
+        // failures land both sides of the crossover, so both paths (and the
+        // handoff between them) are exercised on one walk.
+        let cube = Hypercube::new(6);
+        let sampler = PercolationConfig::new(0.7, 5).sampler();
+        let mut census = IncrementalCensus::new(&cube, &sampler);
+        let schedule = ChurnProcess::new(0.25, 0.3, 9).schedule(&cube, &sampler, 8);
+        let mut saw_rebuild = false;
+        for t in 0..schedule.num_timesteps() {
+            let stats = census.step(schedule.timestep(t));
+            saw_rebuild |= stats.rebuilt;
+            let reference = census.rescan(&cube);
+            assert_eq!(census.sizes_descending(), reference.sizes_descending());
+            assert_eq!(census.giant_fraction(), reference.giant_fraction());
+        }
+        assert!(
+            saw_rebuild,
+            "rates this high must trigger at least one deep-failure rebuild"
+        );
+        // Uniform churn at these rates always fails some deep edge, so force
+        // the handoff back to the rewind path explicitly: failing the
+        // most-recently-applied edge is a suffix of length 1, far under the
+        // crossover on a log this size.
+        let shallow = *census.applied.last().expect("churn left open edges");
+        let stats = census.step(&[ChurnEvent::fail(shallow)]);
+        assert!(
+            !stats.rebuilt,
+            "a length-1 suffix must stay on the rewind path"
+        );
+        assert_eq!(stats.rewound, 1);
+        let reference = census.rescan(&cube);
+        assert_eq!(census.sizes_descending(), reference.sizes_descending());
+        assert_eq!(census.giant_fraction(), reference.giant_fraction());
     }
 
     #[test]

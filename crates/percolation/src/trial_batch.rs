@@ -50,11 +50,27 @@ pub const MAX_LANES: usize = 64;
 
 /// Clamps a user-facing `--trial-batch` value to a valid lane count.
 ///
-/// `0` is reserved by the CLI for "batching off" and never reaches a
-/// constructor; values above [`MAX_LANES`] saturate at 64 (a word holds no
-/// more), and `1..=64` pass through. Exposed so the CLI, the harness, and
-/// the tests agree on one clamping rule.
+/// `0` is reserved by the CLI for "batching off" and must be routed to the
+/// scalar engine *before* this function: silently mapping it to 1 lane
+/// would turn "scalar requested" into "batched with a single lane" — a
+/// different code path that happens to produce the same numbers, which is
+/// exactly the kind of divergence the equivalence suites exist to make
+/// loud. Values above [`MAX_LANES`] saturate at 64 (a word holds no more),
+/// and `1..=64` pass through. Exposed so the CLI, the harness, and the
+/// tests agree on one clamping rule.
+///
+/// # Panics
+///
+/// Debug builds panic on `requested == 0` (the caller forwarded the CLI's
+/// "off" sentinel instead of dispatching on it); release builds clamp to 1
+/// so a slipped sentinel degrades to the old behaviour rather than
+/// aborting a long measurement.
 pub fn clamp_lanes(requested: usize) -> usize {
+    debug_assert!(
+        requested > 0,
+        "trial_batch 0 is the 'batching off' sentinel; dispatch to the \
+         scalar engine instead of clamping it to a 1-lane batch"
+    );
     requested.clamp(1, MAX_LANES)
 }
 
@@ -311,9 +327,34 @@ mod tests {
         assert_eq!(clamp_lanes(64), 64);
         assert_eq!(clamp_lanes(65), 64);
         assert_eq!(clamp_lanes(200), 64);
-        // 0 is the CLI's "off" sentinel and never reaches a constructor,
-        // but the clamp still maps it to a valid lane count.
-        assert_eq!(clamp_lanes(0), 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "'batching off' sentinel"))]
+    fn clamp_lanes_rejects_the_off_sentinel() {
+        // 0 is the CLI's "off" sentinel: callers must dispatch to the scalar
+        // engine, not let the clamp silently turn "scalar requested" into
+        // "batched with 1 lane". Debug builds (and therefore the test suite)
+        // panic; release builds degrade to the old clamp-to-1.
+        let clamped = clamp_lanes(0);
+        // Only reached in release builds, where the debug assert is compiled
+        // out and the sentinel degrades to a single lane.
+        assert_eq!(clamped, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count must be in 1..=64")]
+    fn from_config_rejects_zero_lanes() {
+        let cube = Hypercube::new(4);
+        let _ = TrialBatch::from_config(&cube, &PercolationConfig::new(0.5, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count must be in 1..=64")]
+    fn from_lane_states_rejects_zero_lanes() {
+        let cube = Hypercube::new(4);
+        let no_states: Vec<crate::EdgeSampler> = Vec::new();
+        let _ = TrialBatch::from_lane_states(&cube, &no_states);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! The `loadgen` binary: a closed-loop load generator for the query
+//! service.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--concurrency N] [--duration-secs S]
+//!         [--query JSON] [--quick] [--expect-all-2xx] [--single JSON]
+//! ```
+//!
+//! Closed loop: each of `N` worker threads repeatedly connects, posts the
+//! query, and reads the full response before issuing the next — so
+//! concurrency is bounded by construction and the reported rate is a
+//! sustained-throughput number, not an open-loop arrival fantasy. The
+//! summary prints total requests, the 2xx rate, queries/sec, and latency
+//! percentiles; `--expect-all-2xx` turns any non-2xx (or an empty run)
+//! into a non-zero exit for CI.
+//!
+//! `--single JSON` sends exactly one request and writes the raw response
+//! body to stdout — the CI golden-file `cmp` check uses this.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faultnet_server::http::roundtrip;
+
+/// The canned default: the ISSUE's example query (hypercube n=14 probe
+/// query between the canonical antipodal pair).
+const DEFAULT_QUERY: &str = r#"{"family":"hypercube","n":14,"fault_model":"bernoulli-edges","p":0.45,"pair":[0,16383],"metric":"probes"}"#;
+
+struct Args {
+    addr: String,
+    concurrency: usize,
+    duration: Duration,
+    query: String,
+    expect_all_2xx: bool,
+    single: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        concurrency: 4,
+        duration: Duration::from_secs(5),
+        query: DEFAULT_QUERY.to_string(),
+        expect_all_2xx: false,
+        single: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                if let Some(value) = argv.get(i + 1) {
+                    args.addr = value.clone();
+                    i += 1;
+                }
+            }
+            "--concurrency" => {
+                if let Some(n) = argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                    args.concurrency = n;
+                    i += 1;
+                }
+            }
+            "--duration-secs" => {
+                if let Some(s) = argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                    args.duration = Duration::from_secs(s);
+                    i += 1;
+                }
+            }
+            "--query" => {
+                if let Some(value) = argv.get(i + 1) {
+                    args.query = value.clone();
+                    i += 1;
+                }
+            }
+            "--single" => {
+                if let Some(value) = argv.get(i + 1) {
+                    args.single = Some(value.clone());
+                    i += 1;
+                }
+            }
+            "--quick" => {
+                args.concurrency = 2;
+                args.duration = Duration::from_secs(1);
+            }
+            "--expect-all-2xx" => args.expect_all_2xx = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--concurrency N] [--duration-secs S] \
+                     [--query JSON] [--quick] [--expect-all-2xx] [--single JSON]"
+                );
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(body) = &args.single {
+        match roundtrip(&args.addr, "POST", "/query", body.as_bytes()) {
+            Ok((status, response)) => {
+                use std::io::Write;
+                std::io::stdout().write_all(&response).expect("stdout");
+                std::process::exit(if (200..300).contains(&status) { 0 } else { 1 });
+            }
+            Err(error) => {
+                eprintln!("request failed: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.concurrency)
+        .map(|_| {
+            let addr = args.addr.clone();
+            let query = args.query.clone().into_bytes();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ok_2xx = 0u64;
+                let mut other = 0u64;
+                let mut errors = 0u64;
+                let mut latencies_us: Vec<u64> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let before = Instant::now();
+                    match roundtrip(&addr, "POST", "/query", &query) {
+                        Ok((status, _)) => {
+                            latencies_us.push(before.elapsed().as_micros() as u64);
+                            if (200..300).contains(&status) {
+                                ok_2xx += 1;
+                            } else {
+                                other += 1;
+                            }
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                (ok_2xx, other, errors, latencies_us)
+            })
+        })
+        .collect();
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut ok_2xx = 0u64;
+    let mut other = 0u64;
+    let mut errors = 0u64;
+    let mut latencies_us: Vec<u64> = Vec::new();
+    for worker in workers {
+        let (w_ok, w_other, w_errors, w_lat) = worker.join().expect("worker panicked");
+        ok_2xx += w_ok;
+        other += w_other;
+        errors += w_errors;
+        latencies_us.extend(w_lat);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = ok_2xx + other + errors;
+    let rate = if total == 0 {
+        0.0
+    } else {
+        100.0 * ok_2xx as f64 / total as f64
+    };
+    latencies_us.sort_unstable();
+    let percentile = |q: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
+        latencies_us[idx]
+    };
+    println!(
+        "loadgen: {total} requests in {elapsed:.2}s ({:.1} req/s)",
+        total as f64 / elapsed
+    );
+    println!("  2xx: {ok_2xx} ({rate:.1}%)  non-2xx: {other}  transport-errors: {errors}");
+    println!(
+        "  latency_us: p50={} p90={} p99={} max={}",
+        percentile(0.50),
+        percentile(0.90),
+        percentile(0.99),
+        percentile(1.0)
+    );
+    if args.expect_all_2xx && (total == 0 || other > 0 || errors > 0) {
+        eprintln!("loadgen: --expect-all-2xx violated");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,69 @@
+//! The `server` binary: binds, prints the address, serves until killed.
+//!
+//! ```text
+//! server [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--quiet]
+//! ```
+
+use faultnet_server::serve::{serve, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 4,
+        cache_capacity: 256,
+        log: true,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                if let Some(value) = args.get(i + 1) {
+                    config.addr = value.clone();
+                    i += 1;
+                } else {
+                    eprintln!("--addr expects HOST:PORT");
+                }
+            }
+            "--workers" => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => {
+                    config.workers = n;
+                    i += 1;
+                }
+                _ => eprintln!(
+                    "--workers expects a positive number; using {}",
+                    config.workers
+                ),
+            },
+            "--cache-capacity" => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => {
+                    config.cache_capacity = n;
+                    i += 1;
+                }
+                _ => eprintln!(
+                    "--cache-capacity expects a positive number; using {}",
+                    config.cache_capacity
+                ),
+            },
+            "--quiet" => config.log = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: server [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--quiet]"
+                );
+                return;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    match serve(&config) {
+        Ok(handle) => {
+            println!("listening on http://{}", handle.addr);
+            handle.join();
+        }
+        Err(error) => {
+            eprintln!("failed to bind {}: {error}", config.addr);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! A small least-recently-used cache.
+//!
+//! Deliberately minimal: a `HashMap` plus a monotonically increasing use
+//! stamp per entry, with an O(capacity) scan to find the eviction victim.
+//! The server's caches hold hundreds of entries, each worth milliseconds
+//! to hundreds of milliseconds of measurement, so a linear scan on insert
+//! is noise — and the flat structure keeps the crate dependency-free (no
+//! linked-list crates reachable offline, same constraint as the JSON
+//! layer).
+//!
+//! Values are handed out by clone; callers store `Arc<V>` so a hit is a
+//! reference-count bump and an evicted entry stays alive for any request
+//! still holding it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A fixed-capacity LRU map from `K` to `V`.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    entries: HashMap<K, (u64, V)>,
+    clock: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity cache would silently
+    /// turn every lookup into a miss, which defeats the point of asking
+    /// for one.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be at least 1");
+        LruCache {
+            entries: HashMap::new(),
+            clock: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some((stamp, value)) => {
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key -> value`, evicting the least-recently-used entry when
+    /// the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.clock += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (self.clock, value));
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime `(hits, misses)` counters (for `/metrics`).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut cache: LruCache<&str, u64> = LruCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"a"), Some(1)); // refresh a; b is now LRU
+        cache.insert("c", 3); // evicts b
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"a"), Some(1));
+        assert_eq!(cache.get(&"c"), Some(3));
+        assert_eq!(cache.len(), 2);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (3, 1));
+    }
+
+    #[test]
+    fn reinserting_updates_in_place_without_eviction() {
+        let mut cache: LruCache<&str, u64> = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("a", 10); // update, not a new entry: b survives
+        assert_eq!(cache.get(&"b"), Some(2));
+        assert_eq!(cache.get(&"a"), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = LruCache::<u64, u64>::new(0);
+    }
+}

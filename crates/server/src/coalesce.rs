@@ -1,0 +1,190 @@
+//! Request coalescing: one measurement serves every same-config waiter.
+//!
+//! When several connections ask for the same canonical query while none
+//! has finished yet, only the first (the *leader*) runs the measurement;
+//! the rest block on a condvar and receive the leader's result. This is
+//! correct — not just fast — because of the workspace determinism
+//! contract: an answer is a pure function of the canonical config (trial
+//! `t` reads seed `seed + t` and nothing else, for every engine and
+//! thread count), so the leader's bytes are exactly the bytes every
+//! waiter would have computed. Coalescing therefore changes wall-clock
+//! and nothing else, like `--threads` does.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight computation: the slot the leader fills and the condvar
+/// the waiters sleep on.
+struct Flight<V> {
+    slot: Mutex<Option<V>>,
+    done: Condvar,
+    /// How many callers have committed to waiting on this flight;
+    /// incremented under the registry lock, so it is exact.
+    waiters: AtomicU64,
+}
+
+/// How a coalesced call obtained its value (for `/metrics` and logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This call ran the computation.
+    Leader,
+    /// This call waited for a concurrent leader's result.
+    Waiter,
+}
+
+/// Coalesces concurrent computations by key.
+pub struct Coalescer<V> {
+    inflight: Mutex<HashMap<String, Arc<Flight<V>>>>,
+}
+
+impl<V: Clone> Coalescer<V> {
+    /// Creates an empty coalescer.
+    pub fn new() -> Self {
+        Coalescer {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns `compute()`'s value for `key`, running `compute` at most
+    /// once across all concurrent callers with the same key: the first
+    /// caller becomes the [`Role::Leader`] and runs it, every overlapping
+    /// caller blocks until the leader finishes and receives a clone.
+    ///
+    /// The flight is removed before the leader returns, so a *later*
+    /// (non-overlapping) call with the same key computes again — callers
+    /// that want cross-request reuse put a cache in front (the service
+    /// checks its response cache first, so a post-flight call is a cache
+    /// hit instead).
+    pub fn run<F: FnOnce() -> V>(&self, key: &str, compute: F) -> (V, Role) {
+        let flight = {
+            let mut inflight = self.inflight.lock().expect("coalescer poisoned");
+            match inflight.get(key) {
+                Some(flight) => {
+                    // Someone is already computing this key: wait for them.
+                    let flight = Arc::clone(flight);
+                    flight.waiters.fetch_add(1, Ordering::SeqCst);
+                    drop(inflight);
+                    let mut slot = flight.slot.lock().expect("flight poisoned");
+                    while slot.is_none() {
+                        slot = flight.done.wait(slot).expect("flight poisoned");
+                    }
+                    return (slot.clone().expect("slot filled"), Role::Waiter);
+                }
+                None => {
+                    let flight = Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                        waiters: AtomicU64::new(0),
+                    });
+                    inflight.insert(key.to_string(), Arc::clone(&flight));
+                    flight
+                }
+            }
+        };
+        let value = compute();
+        // Publish before unregistering so a waiter that grabbed the flight
+        // just before removal still sees the value; a brand-new caller
+        // after removal simply leads its own flight.
+        {
+            let mut slot = flight.slot.lock().expect("flight poisoned");
+            *slot = Some(value.clone());
+            flight.done.notify_all();
+        }
+        self.inflight
+            .lock()
+            .expect("coalescer poisoned")
+            .remove(key);
+        (value, Role::Leader)
+    }
+
+    /// How many callers are currently committed to waiting on `key`'s
+    /// in-flight computation (0 when nothing is in flight). An exact
+    /// observability gauge: the count is incremented under the registry
+    /// lock at the moment a caller commits to the waiter branch.
+    pub fn waiters(&self, key: &str) -> u64 {
+        self.inflight
+            .lock()
+            .expect("coalescer poisoned")
+            .get(key)
+            .map_or(0, |flight| flight.waiters.load(Ordering::SeqCst))
+    }
+}
+
+impl<V: Clone> Default for Coalescer<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let coalescer: Coalescer<u64> = Coalescer::new();
+        let (a, role_a) = coalescer.run("k", || 7);
+        let (b, role_b) = coalescer.run("k", || 8);
+        assert_eq!((a, role_a), (7, Role::Leader));
+        assert_eq!((b, role_b), (8, Role::Leader));
+    }
+
+    #[test]
+    fn concurrent_same_key_calls_compute_once() {
+        let coalescer: Arc<Coalescer<u64>> = Arc::new(Coalescer::new());
+        let computed = Arc::new(AtomicU64::new(0));
+        let entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let leader = {
+            let coalescer = Arc::clone(&coalescer);
+            let computed = Arc::clone(&computed);
+            let entered = Arc::clone(&entered);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                coalescer.run("k", || {
+                    entered.wait(); // flight is registered; let the test spawn waiters
+                    release.wait(); // hold until every waiter has been launched
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    42u64
+                })
+            })
+        };
+        // The leader is inside `compute` from here on, so its flight stays
+        // registered: every call spawned below must take the waiter branch
+        // (their compute closure proves it by panicking if ever invoked).
+        entered.wait();
+        let waiters: Vec<_> = (0..7)
+            .map(|_| {
+                let coalescer = Arc::clone(&coalescer);
+                std::thread::spawn(move || {
+                    coalescer.run("k", || panic!("a coalesced waiter must never compute"))
+                })
+            })
+            .collect();
+        // Release the leader only after all seven have *committed* to the
+        // waiter branch (the gauge increments under the registry lock), so
+        // no late spawn can miss the flight and lead its own.
+        while coalescer.waiters("k") < 7 {
+            std::thread::yield_now();
+        }
+        release.wait();
+        let (value, role) = leader.join().unwrap();
+        assert_eq!((value, role), (42, Role::Leader));
+        for waiter in waiters {
+            let (value, role) = waiter.join().unwrap();
+            assert_eq!((value, role), (42, Role::Waiter));
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let coalescer: Coalescer<&'static str> = Coalescer::new();
+        let (a, _) = coalescer.run("x", || "ax");
+        let (b, _) = coalescer.run("y", || "by");
+        assert_eq!((a, b), ("ax", "by"));
+    }
+}

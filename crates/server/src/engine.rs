@@ -1,0 +1,341 @@
+//! The measurement engine: turns a validated [`Query`] into a response
+//! body by driving the workspace's existing harnesses.
+//!
+//! Nothing here measures anything new. The probes metric is
+//! [`ComplexityHarness::measure_batched_with_model`] — the same engine the
+//! experiment binaries run, batched 64 trials per word where the model and
+//! family allow and bit-identical to the scalar path where they don't —
+//! and the connectivity metric is one [`FaultModel::instance`] plus one
+//! [`ComponentCensus::compute`]. The server's value is around the
+//! measurement, not in it: instance + census results are memoized in an
+//! LRU keyed on the canonical config hash, and measurement parallelism is
+//! pinned to one thread so the `--workers` knob (HTTP concurrency) can
+//! never touch a response byte.
+//!
+//! [`FaultModel::instance`]: faultnet_faultmodel::FaultModel::instance
+
+use std::sync::{Arc, Mutex};
+
+use faultnet_faultmodel::FaultInstance;
+use faultnet_percolation::components::ComponentCensus;
+use faultnet_percolation::PercolationConfig;
+use faultnet_routing::bfs::FloodRouter;
+use faultnet_routing::complexity::{ComplexityHarness, ComplexityStats};
+use faultnet_topology::complete::CompleteGraph;
+use faultnet_topology::double_tree::DoubleBinaryTree;
+use faultnet_topology::hypercube::Hypercube;
+use faultnet_topology::mesh::Mesh;
+use faultnet_topology::{Topology, VertexId};
+
+use crate::cache::LruCache;
+use crate::json::Json;
+use crate::query::{Family, Metric, Query};
+
+/// A memoized trial-0 fault instance with its component census, shared
+/// across requests through the LRU.
+#[derive(Debug)]
+pub struct CensusEntry {
+    /// The materialised fault instance (frozen edge/node state).
+    pub instance: FaultInstance,
+    /// Its component census.
+    pub census: ComponentCensus,
+}
+
+/// The instance/census LRU, shared by reference across workers.
+pub type CensusCache = Mutex<LruCache<u64, Arc<CensusEntry>>>;
+
+/// A query's graph, concretely built (the families are statically known,
+/// so the engine dispatches by enum instead of boxing `dyn Topology` —
+/// the harness and census are generic over `T: Topology`).
+pub enum Graph {
+    /// `Family::Hypercube`.
+    Hypercube(Hypercube),
+    /// `Family::Mesh`.
+    Mesh(Mesh),
+    /// `Family::Complete`.
+    Complete(CompleteGraph),
+    /// `Family::DoubleTree`.
+    DoubleTree(DoubleBinaryTree),
+}
+
+/// Runs `op` with the concrete graph (monomorphized per family).
+macro_rules! with_graph {
+    ($graph:expr, $g:ident => $body:expr) => {
+        match $graph {
+            Graph::Hypercube($g) => $body,
+            Graph::Mesh($g) => $body,
+            Graph::Complete($g) => $body,
+            Graph::DoubleTree($g) => $body,
+        }
+    };
+}
+
+impl Graph {
+    /// Builds the family named by the (already validated) query.
+    pub fn build(query: &Query) -> Graph {
+        match query.family {
+            Family::Hypercube { n } => Graph::Hypercube(Hypercube::new(n)),
+            Family::Mesh { dim, side } => Graph::Mesh(Mesh::new(dim, side)),
+            Family::Complete { order } => Graph::Complete(CompleteGraph::new(order)),
+            Family::DoubleTree { depth } => Graph::DoubleTree(DoubleBinaryTree::new(depth)),
+        }
+    }
+
+    /// Resolves the query's pair against this graph: explicit pairs are
+    /// range-checked, an absent pair becomes the family's canonical pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an explicit vertex is out of range.
+    pub fn resolve_pair(&self, query: &Query) -> Result<(VertexId, VertexId), String> {
+        with_graph!(self, g => {
+            match query.pair {
+                None => Ok(g.canonical_pair()),
+                Some((u, v)) => {
+                    let (u, v) = (VertexId(u), VertexId(v));
+                    for w in [u, v] {
+                        if !g.contains(w) {
+                            return Err(format!(
+                                "vertex {} is out of range for {} ({} vertices)",
+                                w.0,
+                                g.name(),
+                                g.num_vertices()
+                            ));
+                        }
+                    }
+                    Ok((u, v))
+                }
+            }
+        })
+    }
+
+    /// Computes the response body tree for `query` at the resolved `pair`.
+    pub fn answer(
+        &self,
+        query: &Query,
+        pair: (VertexId, VertexId),
+        census_cache: &CensusCache,
+    ) -> Json {
+        match query.metric {
+            Metric::Probes => with_graph!(self, g => probes_answer(g, query, pair)),
+            Metric::Connectivity => {
+                with_graph!(self, g => connectivity_answer(g, query, pair, census_cache))
+            }
+        }
+    }
+}
+
+/// Measurement-thread count for every in-request engine call. Pinned to 1:
+/// request-level parallelism comes from the HTTP worker pool, and keeping
+/// the engines sequential means `--workers` provably cannot change a
+/// response byte (the engines are bit-identical across thread counts
+/// anyway — this just removes the knob entirely).
+const MEASURE_THREADS: usize = 1;
+
+/// Trial-batch lanes for the probes metric: full 64-lane words. Batching
+/// is bit-identical to the scalar engine by the workspace contract, and
+/// models/families that cannot batch fall back to the scalar path inside
+/// the harness.
+const TRIAL_LANES: usize = 64;
+
+fn probes_answer<T: Topology + Sync + Clone>(
+    graph: &T,
+    query: &Query,
+    pair: (VertexId, VertexId),
+) -> Json {
+    let model = query.fault_model.build();
+    let config = PercolationConfig::new(query.p, query.seed);
+    let harness = ComplexityHarness::new(graph.clone(), config);
+    let stats = harness.measure_batched_with_model(
+        &*model,
+        &FloodRouter::new(),
+        pair.0,
+        pair.1,
+        query.trials,
+        TRIAL_LANES,
+        MEASURE_THREADS,
+    );
+    stats_to_json(query, pair, &stats)
+}
+
+fn stats_to_json(query: &Query, pair: (VertexId, VertexId), stats: &ComplexityStats) -> Json {
+    let mut fields = vec![
+        ("query".to_string(), Json::Str(query.canonical_key(pair))),
+        ("router".into(), Json::Str(stats.router().to_string())),
+        (
+            "attempted_trials".into(),
+            Json::UInt(stats.attempted_trials() as u64),
+        ),
+        (
+            "conditioned_trials".into(),
+            Json::UInt(stats.conditioned_trials() as u64),
+        ),
+        (
+            "connectivity_rate".into(),
+            Json::Num(stats.connectivity_rate()),
+        ),
+        ("success_rate".into(), Json::Num(stats.success_rate())),
+        ("mean_probes".into(), Json::Num(stats.mean_probes())),
+    ];
+    for (name, value) in [
+        ("median_probes", stats.median_probes()),
+        ("min_probes", stats.min_probes()),
+        ("max_probes", stats.max_probes()),
+    ] {
+        fields.push((name.to_string(), value.map_or(Json::Null, Json::UInt)));
+    }
+    Json::Obj(fields)
+}
+
+fn connectivity_answer<T: Topology + Sync>(
+    graph: &T,
+    query: &Query,
+    pair: (VertexId, VertexId),
+    census_cache: &CensusCache,
+) -> Json {
+    let key = query.census_key(pair);
+    let cached = census_cache
+        .lock()
+        .expect("census cache poisoned")
+        .get(&key);
+    let entry = match cached {
+        Some(entry) => entry,
+        None => {
+            let model = query.fault_model.build();
+            let config = PercolationConfig::new(query.p, query.seed);
+            let instance = model.instance(graph, config, Some(pair));
+            let census = ComponentCensus::compute(graph, &instance);
+            let entry = Arc::new(CensusEntry { instance, census });
+            census_cache
+                .lock()
+                .expect("census cache poisoned")
+                .insert(key, Arc::clone(&entry));
+            entry
+        }
+    };
+    let census = &entry.census;
+    Json::Obj(vec![
+        ("query".to_string(), Json::Str(query.canonical_key(pair))),
+        ("num_vertices".into(), Json::UInt(census.num_vertices())),
+        (
+            "num_components".into(),
+            Json::UInt(census.num_components() as u64),
+        ),
+        (
+            "largest_component_size".into(),
+            Json::UInt(census.largest_component_size()),
+        ),
+        (
+            "second_largest_component_size".into(),
+            Json::UInt(census.second_largest_component_size()),
+        ),
+        ("giant_fraction".into(), Json::Num(census.giant_fraction())),
+        (
+            "pair_connected".into(),
+            Json::Bool(census.same_component(pair.0, pair.1)),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Metric;
+    use faultnet_faultmodel::FaultModelSpec;
+
+    fn query(text: &str) -> Query {
+        Query::from_json(&Json::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn probes_answer_matches_the_scalar_harness() {
+        let q = query(r#"{"family":"hypercube","n":8,"p":0.6,"seed":7,"trials":16}"#);
+        let graph = Graph::build(&q);
+        let pair = graph.resolve_pair(&q).unwrap();
+        assert_eq!(pair, (VertexId(0), VertexId(255)));
+        let cache: CensusCache = Mutex::new(LruCache::new(4));
+        let body = graph.answer(&q, pair, &cache);
+        // Cross-check against a direct scalar measurement.
+        let cube = Hypercube::new(8);
+        let harness = ComplexityHarness::new(cube, PercolationConfig::new(0.6, 7));
+        let stats = harness.measure(&FloodRouter::new(), pair.0, pair.1, 16);
+        assert_eq!(
+            body.get("conditioned_trials").unwrap().as_u64(),
+            Some(stats.conditioned_trials() as u64)
+        );
+        assert_eq!(
+            body.get("mean_probes").unwrap().as_f64(),
+            Some(stats.mean_probes())
+        );
+        assert_eq!(body.get("router").unwrap().as_str(), Some("flood-bfs"));
+    }
+
+    #[test]
+    fn connectivity_answer_is_cached_and_identical() {
+        let q = query(r#"{"family":"hypercube","n":9,"p":0.5,"seed":3,"metric":"connectivity"}"#);
+        let graph = Graph::build(&q);
+        let pair = graph.resolve_pair(&q).unwrap();
+        let cache: CensusCache = Mutex::new(LruCache::new(4));
+        let cold = graph.answer(&q, pair, &cache).render();
+        assert_eq!(cache.lock().unwrap().len(), 1);
+        let warm = graph.answer(&q, pair, &cache).render();
+        assert_eq!(cold, warm, "cached census must render identical bytes");
+        let (hits, _) = cache.lock().unwrap().stats();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn benign_census_entries_are_shared_across_pairs() {
+        let q =
+            query(r#"{"family":"hypercube","n":8,"p":0.5,"metric":"connectivity","pair":[0,255]}"#);
+        let graph = Graph::build(&q);
+        let cache: CensusCache = Mutex::new(LruCache::new(4));
+        let _ = graph.answer(&q, (VertexId(0), VertexId(255)), &cache);
+        let _ = graph.answer(&q, (VertexId(1), VertexId(2)), &cache);
+        assert_eq!(
+            cache.lock().unwrap().len(),
+            1,
+            "pair-independent model: one cached instance serves both pairs"
+        );
+        let adversarial = Query {
+            fault_model: FaultModelSpec::AdversarialBudget,
+            ..q
+        };
+        let _ = graph.answer(&adversarial, (VertexId(0), VertexId(255)), &cache);
+        let _ = graph.answer(&adversarial, (VertexId(1), VertexId(2)), &cache);
+        assert_eq!(
+            cache.lock().unwrap().len(),
+            3,
+            "the adversary's cut is pair-placed: one entry per pair"
+        );
+    }
+
+    #[test]
+    fn every_family_answers_both_metrics() {
+        let cache: CensusCache = Mutex::new(LruCache::new(16));
+        for (text, metric) in [
+            (r#"{"family":"hypercube","n":6,"p":0.7}"#, Metric::Probes),
+            (r#"{"family":"mesh","n":8,"dim":2,"p":0.7}"#, Metric::Probes),
+            (r#"{"family":"complete","n":32,"p":0.2}"#, Metric::Probes),
+            (r#"{"family":"double-tree","n":5,"p":0.8}"#, Metric::Probes),
+        ] {
+            let mut q = query(text);
+            let graph = Graph::build(&q);
+            let pair = graph.resolve_pair(&q).unwrap();
+            let probes = graph.answer(&q, pair, &cache);
+            assert!(probes.get("mean_probes").is_some(), "{text}");
+            assert_eq!(q.metric, metric);
+            q.metric = Metric::Connectivity;
+            let connectivity = graph.answer(&q, pair, &cache);
+            assert!(connectivity.get("giant_fraction").is_some(), "{text}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_pairs_are_rejected() {
+        let q = query(r#"{"family":"hypercube","n":6,"p":0.5,"pair":[0,64]}"#);
+        let graph = Graph::build(&q);
+        let err = graph.resolve_pair(&q).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Server metrics: counters, cache hit rates, per-family latency
+//! histograms, rendered as plain text for `GET /metrics`.
+//!
+//! The exposition format is Prometheus-style (`name{label="value"} N`
+//! lines), rendered in a deterministic order (fixed counter order, then
+//! families alphabetically, then buckets ascending) so two scrapes of an
+//! idle server are byte-identical and diffs in CI logs stay readable.
+//! Latency buckets are powers of two in microseconds — the same log₂
+//! bucketing a probe-count histogram uses — because queries span five
+//! orders of magnitude (a warm cache hit is microseconds, a cold
+//! adversarial measurement is hundreds of milliseconds) and uniform
+//! buckets would waste all their resolution on one end.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of log₂ latency buckets: bucket `i` counts requests with
+/// latency below `2^i` µs, the last bucket is the overflow (`+Inf`).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// How a query obtained its response body (one label on the request
+/// counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the response cache.
+    Hit,
+    /// Computed by this request (it led the coalesced flight).
+    Miss,
+    /// Served by waiting on a concurrent identical request's flight.
+    Coalesced,
+}
+
+impl CacheStatus {
+    /// The label used by the log line and any future labelled counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A log₂ latency histogram plus count and sum.
+#[derive(Debug, Default, Clone)]
+struct Histogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_us: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = if us == 0 {
+            0
+        } else {
+            (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us += us;
+    }
+}
+
+/// Aggregated server metrics; every field is update-safe from any worker.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced_waits: AtomicU64,
+    latency_by_family: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one completed request.
+    ///
+    /// `family` is the query's graph family (or a route pseudo-family like
+    /// `"-"` for non-query endpoints), `status` the HTTP status code sent.
+    pub fn record(&self, family: &str, status: u16, cache: Option<CacheStatus>, latency: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        match cache {
+            Some(CacheStatus::Hit) => self.cache_hits.fetch_add(1, Ordering::Relaxed),
+            Some(CacheStatus::Miss) => self.cache_misses.fetch_add(1, Ordering::Relaxed),
+            Some(CacheStatus::Coalesced) => self.coalesced_waits.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        let mut by_family = self.latency_by_family.lock().expect("metrics poisoned");
+        by_family
+            .entry(family.to_string())
+            .or_default()
+            .record(latency);
+    }
+
+    /// Lifetime `(hits, misses, coalesced)` query counts.
+    pub fn cache_counts(&self) -> (u64, u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+            self.coalesced_waits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Renders the plain-text exposition body for `GET /metrics`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = self.requests_total.load(Ordering::Relaxed);
+        out.push_str(&format!("faultnet_requests_total {total}\n"));
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            out.push_str(&format!(
+                "faultnet_responses_total{{class=\"{class}\"}} {}\n",
+                counter.load(Ordering::Relaxed)
+            ));
+        }
+        let (hits, misses, coalesced) = self.cache_counts();
+        out.push_str(&format!("faultnet_query_cache_hits_total {hits}\n"));
+        out.push_str(&format!("faultnet_query_cache_misses_total {misses}\n"));
+        out.push_str(&format!(
+            "faultnet_query_coalesced_waits_total {coalesced}\n"
+        ));
+        let answered = hits + misses + coalesced;
+        let rate = if answered == 0 {
+            0.0
+        } else {
+            hits as f64 / answered as f64
+        };
+        out.push_str(&format!("faultnet_query_cache_hit_rate {rate}\n"));
+        let by_family = self.latency_by_family.lock().expect("metrics poisoned");
+        for (family, histogram) in by_family.iter() {
+            let mut cumulative = 0u64;
+            for (i, count) in histogram.buckets.iter().enumerate() {
+                cumulative += count;
+                let le = if i == LATENCY_BUCKETS - 1 {
+                    "+Inf".to_string()
+                } else {
+                    (1u64 << i).to_string()
+                };
+                // Skip the all-zero prefix (24 lines per family is noise);
+                // always emit +Inf so the total is readable on its own.
+                if cumulative > 0 || i == LATENCY_BUCKETS - 1 {
+                    out.push_str(&format!(
+                        "faultnet_request_latency_us_bucket{{family=\"{family}\",le=\"{le}\"}} {cumulative}\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "faultnet_request_latency_us_sum{{family=\"{family}\"}} {}\n",
+                histogram.sum_us
+            ));
+            out.push_str(&format!(
+                "faultnet_request_latency_us_count{{family=\"{family}\"}} {}\n",
+                histogram.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let metrics = Metrics::new();
+        metrics.record(
+            "hypercube",
+            200,
+            Some(CacheStatus::Miss),
+            Duration::from_micros(900),
+        );
+        metrics.record(
+            "hypercube",
+            200,
+            Some(CacheStatus::Hit),
+            Duration::from_micros(3),
+        );
+        metrics.record(
+            "hypercube",
+            200,
+            Some(CacheStatus::Hit),
+            Duration::from_micros(5),
+        );
+        metrics.record("mesh", 400, None, Duration::from_micros(10));
+        let text = metrics.render();
+        assert!(text.contains("faultnet_requests_total 4"));
+        assert!(text.contains("faultnet_responses_total{class=\"2xx\"} 3"));
+        assert!(text.contains("faultnet_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("faultnet_query_cache_hits_total 2"));
+        assert!(text.contains("faultnet_query_cache_misses_total 1"));
+        assert!(
+            text.contains("faultnet_query_cache_hit_rate 0.66666"),
+            "hit rate visible: {text}"
+        );
+        assert!(text.contains("faultnet_request_latency_us_count{family=\"hypercube\"} 3"));
+        assert!(text.contains("faultnet_request_latency_us_sum{family=\"hypercube\"} 908"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        let metrics = Metrics::new();
+        // 900 µs falls in the 1024-µs bucket; 3 µs in the 4-µs bucket.
+        metrics.record("h", 200, None, Duration::from_micros(900));
+        metrics.record("h", 200, None, Duration::from_micros(3));
+        let text = metrics.render();
+        assert!(text.contains("{family=\"h\",le=\"4\"} 1"));
+        assert!(text.contains("{family=\"h\",le=\"1024\"} 2"));
+    }
+
+    #[test]
+    fn idle_render_is_stable() {
+        let metrics = Metrics::new();
+        assert_eq!(metrics.render(), metrics.render());
+        assert!(metrics
+            .render()
+            .contains("faultnet_query_cache_hit_rate 0\n"));
+    }
+}

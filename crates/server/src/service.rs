@@ -1,0 +1,291 @@
+//! The query service: routing, caching, coalescing, and per-request
+//! accounting — everything between a parsed HTTP request and its
+//! response bytes, independent of sockets (the tests drive it directly).
+//!
+//! Layering for `POST /query`, outermost first:
+//!
+//! 1. **Response cache** — an LRU from the canonical query key to the
+//!    final body bytes. A warm hit costs two mutex hops and a parse; it
+//!    returns the *same* `Arc<Vec<u8>>` the cold path produced, so
+//!    warm-vs-cold byte-identity holds by construction.
+//! 2. **Coalescer** — concurrent misses on the same key run one
+//!    measurement; see [`crate::coalesce`] for the correctness argument.
+//! 3. **Engine** — the cold path; memoizes instance + census pairs in its
+//!    own LRU keyed on the canonical config hash (see [`crate::engine`]).
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::LruCache;
+use crate::coalesce::{Coalescer, Role};
+use crate::engine::{CensusCache, Graph};
+use crate::http::Request;
+use crate::json::Json;
+use crate::metrics::{CacheStatus, Metrics};
+use crate::query::{fnv1a, Query};
+
+/// A response ready for the wire, plus the labels the log line and
+/// `/metrics` want.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `content-type` header value.
+    pub content_type: &'static str,
+    /// Body bytes (shared so cache hits are refcount bumps).
+    pub body: Arc<Vec<u8>>,
+    /// Query family for metrics labels (`"-"` for non-query routes).
+    pub family: &'static str,
+    /// How the body was obtained, when the route was a query.
+    pub cache: Option<CacheStatus>,
+    /// FNV-1a hash of the canonical query key (0 outside `/query`),
+    /// logged so recurring configs are grep-able across runs.
+    pub key_hash: u64,
+}
+
+/// Shared state behind all worker threads.
+pub struct QueryService {
+    response_cache: Mutex<LruCache<String, Arc<Vec<u8>>>>,
+    census_cache: CensusCache,
+    coalescer: Coalescer<Arc<Vec<u8>>>,
+    metrics: Metrics,
+}
+
+impl QueryService {
+    /// Creates a service whose two caches each hold `cache_capacity`
+    /// entries.
+    pub fn new(cache_capacity: usize) -> Self {
+        QueryService {
+            response_cache: Mutex::new(LruCache::new(cache_capacity)),
+            census_cache: Mutex::new(LruCache::new(cache_capacity)),
+            coalescer: Coalescer::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Dispatches one request and records it in the metrics.
+    pub fn handle(&self, request: &Request) -> Response {
+        let started = Instant::now();
+        let response = match (request.method.as_str(), request.target.as_str()) {
+            ("POST", "/query") => self.handle_query(&request.body),
+            ("GET", "/metrics") => text_response(200, self.metrics.render().into_bytes()),
+            ("GET", "/healthz") => text_response(200, b"ok\n".to_vec()),
+            ("POST" | "GET", _) => error_response(404, "no such route"),
+            _ => error_response(405, "method not allowed"),
+        };
+        self.metrics.record(
+            response.family,
+            response.status,
+            response.cache,
+            started.elapsed(),
+        );
+        response
+    }
+
+    fn handle_query(&self, body: &[u8]) -> Response {
+        let query = match Query::from_body(body) {
+            Ok(query) => query,
+            Err(message) => return error_response(400, &message),
+        };
+        let graph = Graph::build(&query);
+        let pair = match graph.resolve_pair(&query) {
+            Ok(pair) => pair,
+            Err(message) => return error_response(400, &message),
+        };
+        let key = query.canonical_key(pair);
+        let key_hash = fnv1a(key.as_bytes());
+        let family = query.family.wire_name();
+        if let Some(body) = self
+            .response_cache
+            .lock()
+            .expect("response cache poisoned")
+            .get(&key)
+        {
+            return Response {
+                status: 200,
+                content_type: "application/json",
+                body,
+                family,
+                cache: Some(CacheStatus::Hit),
+                key_hash,
+            };
+        }
+        let (body, role) = self.coalescer.run(&key, || {
+            let mut rendered = graph.answer(&query, pair, &self.census_cache).render();
+            rendered.push('\n');
+            Arc::new(rendered.into_bytes())
+        });
+        let cache = match role {
+            Role::Leader => {
+                self.response_cache
+                    .lock()
+                    .expect("response cache poisoned")
+                    .insert(key, Arc::clone(&body));
+                CacheStatus::Miss
+            }
+            Role::Waiter => CacheStatus::Coalesced,
+        };
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+            family,
+            cache: Some(cache),
+            key_hash,
+        }
+    }
+
+    /// The service metrics (rendered by `GET /metrics`; the tests and
+    /// `loadgen` assertions read counters through this too).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// One structured log line for a completed request (written to stderr
+    /// by the connection loop; here so its shape is testable).
+    pub fn log_line(request: &Request, response: &Response, latency: Duration) -> String {
+        format!(
+            "method={method} target={target} status={status} family={family} cache={cache} latency_us={us} key={key:016x}",
+            method = request.method,
+            target = request.target,
+            status = response.status,
+            family = response.family,
+            cache = response.cache.map_or("-", CacheStatus::label),
+            us = latency.as_micros(),
+            key = response.key_hash,
+        )
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    let mut body = Json::Obj(vec![("error".to_string(), Json::Str(message.to_string()))]).render();
+    body.push('\n');
+    Response {
+        status,
+        content_type: "application/json",
+        body: Arc::new(body.into_bytes()),
+        family: "-",
+        cache: None,
+        key_hash: 0,
+    }
+}
+
+fn text_response(status: u16, body: Vec<u8>) -> Response {
+    Response {
+        status,
+        content_type: "text/plain; charset=utf-8",
+        body: Arc::new(body),
+        family: "-",
+        cache: None,
+        key_hash: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(service: &QueryService, body: &str) -> Response {
+        service.handle(&Request {
+            method: "POST".into(),
+            target: "/query".into(),
+            body: body.as_bytes().to_vec(),
+        })
+    }
+
+    const QUERY: &str = r#"{"family":"hypercube","n":8,"p":0.6,"trials":8}"#;
+
+    #[test]
+    fn cold_then_warm_hits_the_cache_with_identical_bytes() {
+        let service = QueryService::new(8);
+        let cold = post(&service, QUERY);
+        assert_eq!(cold.status, 200);
+        assert_eq!(cold.cache, Some(CacheStatus::Miss));
+        let warm = post(&service, QUERY);
+        assert_eq!(warm.cache, Some(CacheStatus::Hit));
+        assert_eq!(cold.body, warm.body, "bytes must match");
+        assert!(
+            Arc::ptr_eq(&cold.body, &warm.body),
+            "same allocation, not a copy"
+        );
+        assert_eq!(service.metrics().cache_counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn equivalent_spellings_share_one_cache_slot() {
+        let service = QueryService::new(8);
+        let a = post(&service, QUERY);
+        // Field order scrambled, defaults spelled out, whitespace added.
+        let b = post(
+            &service,
+            r#"{ "trials": 8, "p": 0.6, "seed": 42, "metric": "probes",
+                "family": "hypercube", "n": 8, "pair": [0, 255] }"#,
+        );
+        assert_eq!(b.cache, Some(CacheStatus::Hit));
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.key_hash, b.key_hash);
+    }
+
+    #[test]
+    fn bad_queries_get_400_with_a_json_error() {
+        let service = QueryService::new(8);
+        for body in ["not json", r#"{"family":"petersen","n":3,"p":0.5}"#, "{}"] {
+            let response = post(&service, body);
+            assert_eq!(response.status, 400, "{body}");
+            let text = std::str::from_utf8(&response.body).unwrap();
+            assert!(text.starts_with("{\"error\":"), "{text}");
+        }
+        // Errors are not cached.
+        assert_eq!(service.metrics().cache_counts(), (0, 0, 0));
+    }
+
+    #[test]
+    fn routes_dispatch() {
+        let service = QueryService::new(8);
+        let metrics = service.handle(&Request {
+            method: "GET".into(),
+            target: "/metrics".into(),
+            body: Vec::new(),
+        });
+        assert_eq!(metrics.status, 200);
+        assert!(std::str::from_utf8(&metrics.body)
+            .unwrap()
+            .contains("faultnet_requests_total"));
+        let health = service.handle(&Request {
+            method: "GET".into(),
+            target: "/healthz".into(),
+            body: Vec::new(),
+        });
+        assert_eq!(health.status, 200);
+        let missing = service.handle(&Request {
+            method: "GET".into(),
+            target: "/nope".into(),
+            body: Vec::new(),
+        });
+        assert_eq!(missing.status, 404);
+        let put = service.handle(&Request {
+            method: "PUT".into(),
+            target: "/query".into(),
+            body: Vec::new(),
+        });
+        assert_eq!(put.status, 405);
+    }
+
+    #[test]
+    fn log_line_is_structured() {
+        let service = QueryService::new(8);
+        let request = Request {
+            method: "POST".into(),
+            target: "/query".into(),
+            body: QUERY.as_bytes().to_vec(),
+        };
+        let response = service.handle(&request);
+        let line = QueryService::log_line(&request, &response, Duration::from_micros(1234));
+        assert!(line.contains("method=POST"));
+        assert!(line.contains("target=/query"));
+        assert!(line.contains("status=200"));
+        assert!(line.contains("family=hypercube"));
+        assert!(line.contains("cache=miss"));
+        assert!(line.contains("latency_us=1234"));
+        assert!(line.contains("key="));
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end byte-identity for the query service, mirroring the repo's
+//! `cmp`-enforced convention for the experiment binaries: the same
+//! canonical query must produce byte-identical JSON bodies cold vs warm,
+//! across worker counts, and across coalesced concurrent requests.
+
+use faultnet_server::http::roundtrip;
+use faultnet_server::serve::{serve, ServerConfig, ServerHandle};
+
+const PROBES_QUERY: &[u8] =
+    br#"{"family":"hypercube","n":10,"fault_model":"bernoulli-edges","p":0.45,"pair":[0,1023],"metric":"probes","trials":16,"seed":7}"#;
+
+const CONNECTIVITY_QUERY: &[u8] =
+    br#"{"family":"mesh","n":16,"dim":2,"p":0.55,"metric":"connectivity","seed":9}"#;
+
+fn start(workers: usize) -> ServerHandle {
+    serve(&ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback port")
+}
+
+fn post(addr: &str, body: &[u8]) -> Vec<u8> {
+    let (status, response) = roundtrip(addr, "POST", "/query", body).expect("round-trip");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&response));
+    response
+}
+
+#[test]
+fn warm_and_cold_bodies_are_byte_identical_across_worker_counts() {
+    // Cold (first request computes) vs warm (second is a cache hit) on a
+    // single-worker server...
+    let single = start(1);
+    let addr1 = single.addr.to_string();
+    let cold_probes = post(&addr1, PROBES_QUERY);
+    let warm_probes = post(&addr1, PROBES_QUERY);
+    assert_eq!(cold_probes, warm_probes, "probes: warm must equal cold");
+    let cold_conn = post(&addr1, CONNECTIVITY_QUERY);
+    let warm_conn = post(&addr1, CONNECTIVITY_QUERY);
+    assert_eq!(cold_conn, warm_conn, "connectivity: warm must equal cold");
+    single.shutdown();
+
+    // ...and the same bytes again from a fresh 4-worker server (fresh
+    // caches, different HTTP concurrency): the worker knob must not touch
+    // a single byte, like every other wall-clock knob in the workspace.
+    let pooled = start(4);
+    let addr4 = pooled.addr.to_string();
+    assert_eq!(
+        post(&addr4, PROBES_QUERY),
+        cold_probes,
+        "probes: --workers 1 vs 4 must be byte-identical"
+    );
+    assert_eq!(
+        post(&addr4, CONNECTIVITY_QUERY),
+        cold_conn,
+        "connectivity: --workers 1 vs 4 must be byte-identical"
+    );
+    pooled.shutdown();
+}
+
+#[test]
+fn concurrent_identical_queries_coalesce_to_identical_bytes() {
+    let handle = start(4);
+    let addr = handle.addr.to_string();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || post(&addr, PROBES_QUERY))
+        })
+        .collect();
+    let bodies: Vec<Vec<u8>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for body in &bodies {
+        assert_eq!(
+            body, &bodies[0],
+            "every coalesced waiter gets the leader's bytes"
+        );
+    }
+    // At most one of the 8 actually computed: the rest were cache hits or
+    // coalesced waiters.
+    let (hits, misses, coalesced) = handle.service().metrics().cache_counts();
+    assert_eq!(misses, 1, "one leader computes");
+    assert_eq!(hits + coalesced, 7, "everyone else reuses it");
+    handle.shutdown();
+}
+
+#[test]
+fn query_spelling_does_not_change_the_bytes() {
+    let handle = start(2);
+    let addr = handle.addr.to_string();
+    let canonical = post(&addr, PROBES_QUERY);
+    // Same point, scrambled field order and extra whitespace.
+    let scrambled = post(
+        &addr,
+        br#"{ "seed": 7, "trials": 16, "metric": "probes",
+             "pair": [0, 1023], "p": 0.45,
+             "fault_model": "bernoulli-edges", "family": "hypercube", "n": 10 }"#,
+    );
+    assert_eq!(canonical, scrambled);
+    let (hits, misses, _) = handle.service().metrics().cache_counts();
+    assert_eq!((hits, misses), (1, 1), "the spellings share one cache slot");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_the_cache_and_latency_counters() {
+    let handle = start(2);
+    let addr = handle.addr.to_string();
+    let _ = post(&addr, PROBES_QUERY);
+    let _ = post(&addr, PROBES_QUERY);
+    let (status, body) = roundtrip(&addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("faultnet_query_cache_hits_total 1"), "{text}");
+    assert!(
+        text.contains("faultnet_query_cache_misses_total 1"),
+        "{text}"
+    );
+    assert!(text.contains("faultnet_query_cache_hit_rate 0.5"), "{text}");
+    assert!(
+        text.contains("faultnet_request_latency_us_count{family=\"hypercube\"} 2"),
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn served_body_matches_the_pinned_golden_file() {
+    // The same file CI `cmp`s against `loadgen --single` output; pinned
+    // here too so a byte drift fails tier-1, not just the workflow.
+    let golden: &[u8] = include_bytes!("golden/hypercube_n10_probes.json");
+    let handle = start(2);
+    let addr = handle.addr.to_string();
+    assert_eq!(post(&addr, PROBES_QUERY), golden);
+    handle.shutdown();
+}
+
+#[test]
+fn adversarial_queries_answer_deterministically_too() {
+    // The pair-dependent, scalar-only model: exercises the harness
+    // fallback path end to end.
+    let query = br#"{"family":"hypercube","n":7,"fault_model":"adversarial-budget","p":0.8,"metric":"probes","trials":6,"seed":5}"#;
+    let handle = start(2);
+    let addr = handle.addr.to_string();
+    let first = post(&addr, query);
+    let second = post(&addr, query);
+    assert_eq!(first, second);
+    handle.shutdown();
+
+    let again = start(3);
+    let addr = again.addr.to_string();
+    assert_eq!(post(&addr, query), first, "fresh server, same bytes");
+    again.shutdown();
+}

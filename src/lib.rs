@@ -20,6 +20,8 @@
 //!   routing-complexity measurement harness.
 //! * [`analysis`] — statistics, parameter sweeps, and table/figure output.
 //! * [`experiments`] — one reproducible experiment per paper result.
+//! * [`server`] — a long-lived HTTP query service over the measurement
+//!   engines, with cached censuses, request coalescing, and `/metrics`.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use faultnet_experiments as experiments;
 pub use faultnet_faultmodel as faultmodel;
 pub use faultnet_percolation as percolation;
 pub use faultnet_routing as routing;
+pub use faultnet_server as server;
 pub use faultnet_topology as topology;
 
 /// Convenient glob-import of the most commonly used types.
