@@ -95,15 +95,22 @@ impl<P: Clone + Send + Sync> Sweep<P> {
             slots.iter_mut().map(std::sync::Mutex::new).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if index >= self.parameters.len() {
-                        break;
+                scope.spawn(|| {
+                    loop {
+                        let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        if index >= self.parameters.len() {
+                            break;
+                        }
+                        let parameter = self.parameters[index].clone();
+                        let value = f(&parameter);
+                        let mut slot = slot_refs[index].lock().expect("slot lock");
+                        **slot = Some(SweepPoint { parameter, value });
                     }
-                    let parameter = self.parameters[index].clone();
-                    let value = f(&parameter);
-                    let mut slot = slot_refs[index].lock().expect("slot lock");
-                    **slot = Some(SweepPoint { parameter, value });
+                    // Merge this worker's instrumentation buffers before the
+                    // scope returns: scoped-thread TLS destructors are not
+                    // guaranteed to run before the join, and the sweep is
+                    // where nearly all measurement threads live.
+                    faultnet_obs::flush_thread();
                 });
             }
         });

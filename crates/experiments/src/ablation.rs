@@ -207,6 +207,7 @@ impl AblationExperiment {
 
     /// Runs the ablations and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.ablation");
         let mut report = ExperimentReport::new(
             "E10: ablations (router choice, search escalation, sampling)",
             "design-choice ablations for the Theorem 3(ii)/Theorem 4 algorithms and the sampling substrate",

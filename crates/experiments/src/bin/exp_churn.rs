@@ -24,6 +24,7 @@ use faultnet_experiments::cli::ExpArgs;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.init_obs();
     args.warn_trial_batch_ignored("exp_churn");
     let experiment = ChurnExperiment::with_effort(args.effort)
         .with_threads(args.threads)
@@ -31,4 +32,5 @@ fn main() {
         .with_rescan(args.rescan)
         .with_fault_model(args.fault_model);
     args.print(&experiment.run());
+    args.finish_obs();
 }

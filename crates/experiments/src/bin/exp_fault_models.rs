@@ -24,6 +24,7 @@ use faultnet_experiments::fault_models::FaultModelsExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.init_obs();
     args.warn_rescan_ignored("exp_fault_models");
     let experiment = FaultModelsExperiment::with_effort(args.effort)
         .with_threads(args.threads)
@@ -31,4 +32,5 @@ fn main() {
         .with_trial_batch(args.trial_batch)
         .with_fault_model(args.fault_model);
     args.print(&experiment.run());
+    args.finish_obs();
 }

@@ -16,6 +16,7 @@ use faultnet_experiments::hypercube_giant::HypercubeGiantExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.init_obs();
     args.warn_fault_model_ignored("exp_hypercube_giant");
     args.warn_rescan_ignored("exp_hypercube_giant");
     let experiment = HypercubeGiantExperiment::with_effort(args.effort)
@@ -23,4 +24,5 @@ fn main() {
         .with_census_threads(args.census_threads)
         .with_trial_batch(args.trial_batch);
     args.print(&experiment.run());
+    args.finish_obs();
 }

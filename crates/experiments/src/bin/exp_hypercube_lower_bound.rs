@@ -14,6 +14,7 @@ use faultnet_experiments::hypercube_lower_bound::HypercubeLowerBoundExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.init_obs();
     args.warn_fault_model_ignored("exp_hypercube_lower_bound");
     args.warn_trial_batch_ignored("exp_hypercube_lower_bound");
     args.warn_rescan_ignored("exp_hypercube_lower_bound");
@@ -21,4 +22,5 @@ fn main() {
         .with_threads(args.threads)
         .with_census_threads(args.census_threads);
     args.print(&experiment.run());
+    args.finish_obs();
 }

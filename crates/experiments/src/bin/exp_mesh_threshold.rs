@@ -16,6 +16,7 @@ use faultnet_experiments::mesh_threshold::MeshThresholdExperiment;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.init_obs();
     args.warn_fault_model_ignored("exp_mesh_threshold");
     args.warn_rescan_ignored("exp_mesh_threshold");
     let experiment = MeshThresholdExperiment::with_effort(args.effort)
@@ -23,4 +24,5 @@ fn main() {
         .with_census_threads(args.census_threads)
         .with_trial_batch(args.trial_batch);
     args.print(&experiment.run());
+    args.finish_obs();
 }

@@ -24,6 +24,7 @@ use faultnet_experiments::suite::run_all_reports;
 
 fn main() {
     let args = ExpArgs::parse_env();
+    args.init_obs();
     args.warn_fault_model_ignored("run_all");
     args.warn_rescan_ignored("run_all");
     let reports = run_all_reports(
@@ -39,4 +40,5 @@ fn main() {
     // Deliberately thread-count-free: all output (stdout and stderr) must
     // be byte-identical across --threads values.
     eprintln!("ran {} experiments ({} mode)", reports.len(), args.effort);
+    args.finish_obs();
 }

@@ -146,6 +146,7 @@ impl ChemicalDistanceExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.chemical_distance");
         let mut report = ExperimentReport::new(
             "E5: chemical distance above the threshold",
             "Lemma 8 (Antal–Pisztora) — D(x, y) ≤ ρ·d(x, y) w.h.p. for p > p_c",

@@ -269,6 +269,7 @@ impl ChurnExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.churn");
         let mut report = ExperimentReport::new(
             "E12: dynamic fault churn",
             "beyond the paper — fail/repair dynamics over the §1.2/Theorem 4 substrates, \

@@ -44,6 +44,16 @@
 //!   reproduction binaries always measure the paper's Bernoulli edge
 //!   faults and warn on stderr if the flag is passed
 //!   ([`ExpArgs::warn_fault_model_ignored`]).
+//! * `--trace FILE` (or `--trace=FILE`) — turn on the `faultnet_obs`
+//!   instrumentation layer and write a Chrome-trace JSON file (load it at
+//!   `chrome://tracing` or <https://ui.perfetto.dev>) when the run
+//!   finishes. The instrumentation never touches a measurement: every
+//!   stdout byte is identical with and without the flag (the differential
+//!   suite in `tests/obs_differential.rs` enforces this).
+//! * `--obs-summary` — turn on the counting layer and print the
+//!   counter/histogram/span summary table to stderr after the report.
+//!   Composable with `--trace`; like it, guaranteed not to change a single
+//!   stdout byte.
 
 use faultnet_faultmodel::FaultModelSpec;
 
@@ -77,7 +87,7 @@ use crate::report::Effort;
 ///     Some(faultnet_faultmodel::FaultModelSpec::BernoulliNodes)
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpArgs {
     /// Effort level: `Quick` when `--quick` was passed, `Full` otherwise.
     pub effort: Effort,
@@ -100,6 +110,13 @@ pub struct ExpArgs {
     /// the binary's default (Bernoulli edge faults for the paper
     /// reproductions; every model side by side for `exp_fault_models`).
     pub fault_model: Option<FaultModelSpec>,
+    /// Chrome-trace output path from `--trace FILE`, if any. `Some` turns
+    /// on span capture for the whole run; the file is written by
+    /// [`ExpArgs::finish_obs`].
+    pub trace: Option<String>,
+    /// Whether `--obs-summary` was passed: print the observability
+    /// counter/span table to stderr after the report.
+    pub obs_summary: bool,
 }
 
 impl ExpArgs {
@@ -126,6 +143,8 @@ impl ExpArgs {
         // lanes. Deliberately *not* auto-resolved: batching is opt-in.
         let mut trial_batch: usize = 0;
         let mut fault_model = None;
+        let mut trace: Option<String> = None;
+        let mut obs_summary = false;
         let mut parse_model = |value: &str| match FaultModelSpec::parse(value) {
             Ok(spec) => fault_model = Some(spec),
             Err(message) => eprintln!("{message}; using the default"),
@@ -159,6 +178,20 @@ impl ExpArgs {
                     }
                     i += consumed;
                 }
+                "--obs-summary" => obs_summary = true,
+                "--trace" => {
+                    // Same lookahead rule as --fault-model: consume the next
+                    // token as the path unless it is itself a flag, so a
+                    // valueless `--trace --markdown` warns once and does not
+                    // swallow the next flag.
+                    match args.get(i + 1).map(String::as_str) {
+                        Some(value) if !value.starts_with("--") => {
+                            trace = Some(value.to_string());
+                            i += 1;
+                        }
+                        _ => eprintln!("--trace expects a file path; tracing stays off"),
+                    }
+                }
                 "--fault-model" => {
                     // Same lookahead rule as --threads: consume the next
                     // token as the value unless it is itself a flag, so a
@@ -191,6 +224,12 @@ impl ExpArgs {
                         });
                     } else if let Some(value) = other.strip_prefix("--fault-model=") {
                         parse_model(value);
+                    } else if let Some(value) = other.strip_prefix("--trace=") {
+                        if value.is_empty() {
+                            eprintln!("--trace expects a file path; tracing stays off");
+                        } else {
+                            trace = Some(value.to_string());
+                        }
                     } else {
                         eprintln!("ignoring unknown argument {other:?}");
                     }
@@ -206,6 +245,8 @@ impl ExpArgs {
             rescan,
             markdown,
             fault_model,
+            trace,
+            obs_summary,
         }
     }
 
@@ -251,6 +292,37 @@ impl ExpArgs {
                  (exp_hypercube_giant, exp_mesh_threshold, exp_fault_models)",
                 self.trial_batch
             );
+        }
+    }
+
+    /// Turns the observability layer on if `--trace` or `--obs-summary`
+    /// asked for it. Call once, right after parsing and before the
+    /// experiment runs; without either flag this is a no-op and the
+    /// instrumentation stays at its one-relaxed-load disabled cost.
+    pub fn init_obs(&self) {
+        if self.trace.is_some() {
+            faultnet_obs::enable_tracing();
+        } else if self.obs_summary {
+            faultnet_obs::enable();
+        }
+    }
+
+    /// Emits whatever observability output was requested: writes the
+    /// Chrome-trace file for `--trace FILE` and prints the summary table to
+    /// stderr for `--obs-summary`. Call once, after the report has been
+    /// printed; without either flag this is a no-op.
+    pub fn finish_obs(&self) {
+        if self.trace.is_none() && !self.obs_summary {
+            return;
+        }
+        faultnet_obs::flush_thread();
+        if let Some(path) = &self.trace {
+            if let Err(error) = faultnet_obs::write_trace_file(path) {
+                eprintln!("failed to write trace file {path}: {error}");
+            }
+        }
+        if self.obs_summary {
+            eprint!("{}", faultnet_obs::summary());
         }
     }
 
@@ -479,6 +551,48 @@ mod tests {
         assert_eq!(args.effort, Effort::Quick);
         assert!(args.rescan);
         assert_eq!(args.threads, 2);
+    }
+
+    #[test]
+    fn trace_flag_forms() {
+        // Absent: no trace file, no summary — obs stays off.
+        let args = ExpArgs::parse(Vec::new());
+        assert_eq!(args.trace, None);
+        assert!(!args.obs_summary);
+        // Both spellings carry the path through.
+        assert_eq!(
+            ExpArgs::parse(vec!["--trace".into(), "out.json".into()]).trace,
+            Some("out.json".into())
+        );
+        assert_eq!(
+            ExpArgs::parse(vec!["--trace=/tmp/t.json".into()]).trace,
+            Some("/tmp/t.json".into())
+        );
+        // A valueless flag keeps tracing off and must not swallow the next
+        // flag (same lookahead rule as --fault-model).
+        let args = ExpArgs::parse(vec!["--trace".into(), "--markdown".into()]);
+        assert_eq!(args.trace, None);
+        assert!(args.markdown);
+        // An empty `=`-form path keeps tracing off.
+        assert_eq!(ExpArgs::parse(vec!["--trace=".into()]).trace, None);
+        // Dangling final token keeps the default.
+        assert_eq!(ExpArgs::parse(vec!["--trace".into()]).trace, None);
+    }
+
+    #[test]
+    fn obs_summary_flag_forms() {
+        assert!(ExpArgs::parse(vec!["--obs-summary".into()]).obs_summary);
+        // A boolean flag: it must not swallow its neighbours, and composes
+        // with --trace.
+        let args = ExpArgs::parse(vec![
+            "--obs-summary".into(),
+            "--trace".into(),
+            "t.json".into(),
+            "--quick".into(),
+        ]);
+        assert!(args.obs_summary);
+        assert_eq!(args.trace, Some("t.json".into()));
+        assert_eq!(args.effort, Effort::Quick);
     }
 
     #[test]

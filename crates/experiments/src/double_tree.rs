@@ -180,6 +180,7 @@ impl DoubleTreeExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.double_tree");
         let mut report = ExperimentReport::new(
             "E6: double binary tree — connectivity threshold, local vs oracle routing",
             "Lemma 6 (threshold 1/√2), Theorem 7 (local routing exponential), Theorem 9 (oracle routing linear)",

@@ -189,6 +189,7 @@ impl FaultModelsExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.fault_models");
         let mut report = ExperimentReport::new(
             "E11: fault-model scenario matrix",
             "Theorem 4 + §1.2 grids under node, correlated, and adversarial fault models",

@@ -121,6 +121,7 @@ impl GnpExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.gnp");
         let mut report = ExperimentReport::new(
             "E7: G(n, p) — local vs oracle routing complexity",
             "Theorem 10 (local Ω(n²)) and Theorem 11 (oracle Θ(n^{3/2}))",

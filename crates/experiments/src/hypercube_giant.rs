@@ -83,6 +83,7 @@ pub fn measure_hypercube_point_with_model<M: faultnet_faultmodel::FaultModel + S
     base_seed: u64,
     exec: TrialExec,
 ) -> HypercubePoint {
+    let _span = faultnet_obs::span("hypercube_giant.point");
     let cube = Hypercube::new(dimension);
     // No routed pair in a giant scan; the FaultModel contract defines an
     // absent pair as the canonical pair, so hoisting the placement for the
@@ -241,6 +242,7 @@ impl HypercubeGiantExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.hypercube_giant");
         let mut report = ExperimentReport::new(
             "E8a: hypercube giant component and connectivity thresholds",
             "§1.2 background — giant component at p ≈ 1/n (AKS 82), connectivity at p = 1/2",

@@ -154,6 +154,7 @@ impl HypercubeLowerBoundExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.hypercube_lower_bound");
         let mut report = ExperimentReport::new(
             "E2: hypercube lower bound (Lemma 5 / Theorem 3(i))",
             "Lemma 5 cut bound; Theorem 3(i) — any local router needs 2^{Ω(n^β)} probes for α > 1/2",

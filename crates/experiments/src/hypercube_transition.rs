@@ -161,6 +161,7 @@ impl HypercubeTransitionExperiment {
 
     /// Runs the sweep and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.hypercube_transition");
         let mut report = ExperimentReport::new(
             "E1/E3: hypercube routing phase transition",
             "Theorem 3 — local routing is polynomial for α < 1/2 and exponential for α > 1/2",

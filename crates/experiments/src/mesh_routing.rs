@@ -168,6 +168,7 @@ impl MeshRoutingExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.mesh_routing");
         let mut report = ExperimentReport::new(
             "E4: mesh routing above the percolation threshold",
             "Theorem 4 — expected routing complexity O(n) for any p > p_c^d",

@@ -100,6 +100,7 @@ impl MeshThresholdExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.mesh_threshold");
         let mut report = ExperimentReport::new(
             "E8b: mesh percolation thresholds",
             "§1.2 background — p_c² = 1/2, p_c^d decreasing in d (applicability boundary of Theorem 4)",

@@ -197,6 +197,7 @@ impl OpenQuestionsExperiment {
 
     /// Runs the experiment and assembles the report.
     pub fn run(&self) -> ExperimentReport {
+        let _span = faultnet_obs::span("experiment.open_questions");
         let mut report = ExperimentReport::new(
             "E9: open-question exploration on constant-degree families",
             "§6 Open Questions — do the percolation and routing thresholds coincide for constant-degree, log-diameter families?",

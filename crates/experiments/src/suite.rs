@@ -53,6 +53,9 @@ impl RegisteredExperiment {
         census_threads: usize,
         trial_batch: usize,
     ) -> ExperimentReport {
+        // `binary` is 'static, so it doubles as the span name: one span per
+        // experiment, visible in `--trace` output as `exp_mesh_routing` etc.
+        let _span = faultnet_obs::span(self.binary);
         (self.run)(effort, threads, census_threads, trial_batch)
     }
 }

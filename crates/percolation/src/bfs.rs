@@ -100,9 +100,13 @@ pub fn bfs<T: Topology, S: EdgeStates>(
     let mut dist = HashMap::new();
     let mut parent = HashMap::new();
     let mut queue = VecDeque::new();
+    // Instrumentation accumulates in locals and reports once at the end,
+    // so a disabled build pays one relaxed load per BFS, not per vertex.
+    let mut visited = 0u64;
     dist.insert(source, 0u64);
     queue.push_back(source);
     'outer: while let Some(v) = queue.pop_front() {
+        visited += 1;
         let d = dist[&v];
         if let Some(max) = options.max_depth {
             if d >= max {
@@ -120,6 +124,8 @@ pub fn bfs<T: Topology, S: EdgeStates>(
             }
         }
     }
+    faultnet_obs::count("percolation.bfs.calls", 1);
+    faultnet_obs::count("percolation.bfs.visits", visited);
     BfsTree {
         source,
         dist,

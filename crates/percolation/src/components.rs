@@ -44,15 +44,26 @@ impl ComponentCensus {
     /// for graphs whose vertex set fits comfortably in memory (everything the
     /// experiments use; the largest hypercubes have ~10⁶ vertices).
     pub fn compute<T: Topology + ?Sized, S: EdgeStates>(graph: &T, states: &S) -> Self {
+        let _span = faultnet_obs::span("census.compute");
         let n = graph.num_vertices();
         let mut uf = UnionFind::new(n as usize);
+        // Instrumentation accumulates in locals — one obs call per census,
+        // not one per edge, so the disabled cost is a single relaxed load.
+        let mut edges_scanned = 0u64;
+        let mut unions = 0u64;
         for v in graph.vertices() {
             for w in graph.neighbors(v) {
-                if v.0 < w.0 && states.is_open(EdgeId::new(v, w)) {
-                    uf.union(v.0 as usize, w.0 as usize);
+                if v.0 < w.0 {
+                    edges_scanned += 1;
+                    if states.is_open(EdgeId::new(v, w)) {
+                        unions += 1;
+                        uf.union(v.0 as usize, w.0 as usize);
+                    }
                 }
             }
         }
+        faultnet_obs::count("census.edges_scanned", edges_scanned);
+        faultnet_obs::count("census.unions", unions);
         // Canonicalise: the first vertex (in ascending id order) seen with a
         // given union-find root is the smallest member of that component, so
         // it becomes the component's label. Roots are dense indices `< n`,
@@ -120,6 +131,7 @@ impl ComponentCensus {
         if threads <= 1 || n < 2 || n > u32::MAX as u64 {
             return Self::compute(graph, states);
         }
+        let _span = faultnet_obs::span("census.compute_parallel");
         let uf = AtomicUnionFind::new(n as usize);
         let chunk = n.div_ceil(threads as u64);
         std::thread::scope(|scope| {
@@ -128,14 +140,20 @@ impl ComponentCensus {
                 let hi = ((t + 1) * chunk).min(n);
                 let uf = &uf;
                 scope.spawn(move || {
+                    let mut unions = 0u64;
                     for v in lo..hi {
                         let v = VertexId(v);
                         for w in graph.neighbors(v) {
                             if v.0 < w.0 && states.is_open(EdgeId::new(v, w)) {
+                                unions += 1;
                                 uf.union(v.0 as usize, w.0 as usize);
                             }
                         }
                     }
+                    faultnet_obs::count("census.unions", unions);
+                    // Scoped-thread TLS destructors may run after the scope
+                    // returns; flush explicitly so no counts are stranded.
+                    faultnet_obs::flush_thread();
                 });
             }
         });

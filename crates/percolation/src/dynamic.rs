@@ -474,6 +474,14 @@ impl IncrementalCensus {
         for edge in to_add {
             self.apply(edge);
         }
+        faultnet_obs::count("churn.steps", 1);
+        faultnet_obs::count("churn.failed_edges", stats.failed as u64);
+        faultnet_obs::count("churn.repaired_edges", stats.repaired as u64);
+        faultnet_obs::count("churn.replayed_unions", stats.replayed as u64);
+        faultnet_obs::record("churn.rewind_depth", stats.rewound as u64);
+        if stats.rebuilt {
+            faultnet_obs::count("churn.rebuild_fallbacks", 1);
+        }
         stats
     }
 

@@ -185,6 +185,8 @@ impl<'g, T: Topology + ?Sized> BitsetSample<'g, T> {
     /// topology's edge-index space (fallback families store the set of open
     /// edges instead).
     pub fn from_states<S: EdgeStates>(graph: &'g T, states: &S) -> Self {
+        faultnet_obs::count("sample.materialisations", 1);
+        faultnet_obs::count("sample.edges_sampled", graph.num_edges());
         match graph.edge_index_bound() {
             Some(bound) => {
                 let mut words = vec![0u64; bound.div_ceil(64) as usize];

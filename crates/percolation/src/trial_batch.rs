@@ -264,20 +264,33 @@ impl<'g, T: Topology + ?Sized> TrialBatch<'g, T> {
         reached[u.0 as usize] = mask;
         let mut queue = VecDeque::new();
         queue.push_back(u);
-        while let Some(x) = queue.pop_front() {
-            let from = reached[x.0 as usize];
-            for w in self.graph.neighbors(x) {
-                let advanced = from & self.edge_word(EdgeId::new(x, w)) & !reached[w.0 as usize];
-                if advanced != 0 {
-                    reached[w.0 as usize] |= advanced;
-                    if reached[v.0 as usize] == mask {
-                        return mask;
+        // Instrumentation accumulates in locals and reports once per
+        // fixpoint, so a disabled build pays one relaxed load per call.
+        let mut pops = 0u64;
+        let mut advances = 0u64;
+        let result = 'fixpoint: {
+            while let Some(x) = queue.pop_front() {
+                pops += 1;
+                let from = reached[x.0 as usize];
+                for w in self.graph.neighbors(x) {
+                    let advanced =
+                        from & self.edge_word(EdgeId::new(x, w)) & !reached[w.0 as usize];
+                    if advanced != 0 {
+                        advances += 1;
+                        reached[w.0 as usize] |= advanced;
+                        if reached[v.0 as usize] == mask {
+                            break 'fixpoint mask;
+                        }
+                        queue.push_back(w);
                     }
-                    queue.push_back(w);
                 }
             }
-        }
-        reached[v.0 as usize]
+            reached[v.0 as usize]
+        };
+        faultnet_obs::count("trial_batch.conditioning_calls", 1);
+        faultnet_obs::count("trial_batch.fixpoint_pops", pops);
+        faultnet_obs::count("trial_batch.word_advances", advances);
+        result
     }
 }
 

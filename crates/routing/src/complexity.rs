@@ -271,11 +271,12 @@ impl<T: Topology> ComplexityHarness<T> {
         S: EdgeStates,
         R: Router<T, S>,
     {
+        let span = faultnet_obs::span("routing.trial");
         let mut engine = ProbeEngine::with_locality(&self.graph, states, router.locality(), u);
         if let Some(budget) = self.probe_budget {
             engine = engine.with_budget(budget);
         }
-        match router.route(&mut engine, u, v) {
+        let result = match router.route(&mut engine, u, v) {
             Ok(outcome) => match outcome.path {
                 Some(path) => {
                     if path.connects(u, v) && path.is_valid_open_path(&self.graph, states) {
@@ -294,7 +295,21 @@ impl<T: Topology> ComplexityHarness<T> {
                 TrialResult::BudgetExhausted { budget }
             }
             Err(other) => panic!("router {} failed: {other}", router.name()),
+        };
+        drop(span);
+        faultnet_obs::count("routing.trials.conditioned", 1);
+        match &result {
+            TrialResult::Routed { probes } => {
+                faultnet_obs::count("routing.trials.routed", 1);
+                faultnet_obs::record("routing.probes_per_trial", *probes);
+            }
+            TrialResult::GaveUp { .. } => faultnet_obs::count("routing.trials.gave_up", 1),
+            TrialResult::BudgetExhausted { .. } => {
+                faultnet_obs::count("routing.trials.budget_exhausted", 1)
+            }
+            TrialResult::InvalidPath => faultnet_obs::count("routing.trials.invalid_path", 1),
         }
+        result
     }
 
     /// The conditioning check `{u ∼ v}`: an early-exiting BFS by default, or
@@ -334,6 +349,7 @@ impl<T: Topology> ComplexityHarness<T> {
         let cfg = self.config.with_seed(seed);
         let sampler = cfg.sampler();
         if !self.pair_connected(&sampler, u, v) {
+            faultnet_obs::count("routing.trials.rejected", 1);
             return None;
         }
         Some(self.classify_trial(router, &sampler, u, v))
@@ -359,6 +375,7 @@ impl<T: Topology> ComplexityHarness<T> {
         let cfg = self.config.with_seed(seed);
         let instance = model.instance(&self.graph, cfg, Some((u, v)));
         if !self.pair_connected(&instance, u, v) {
+            faultnet_obs::count("routing.trials.rejected", 1);
             return None;
         }
         Some(self.classify_trial(router, &instance, u, v))
@@ -385,6 +402,7 @@ impl<T: Topology> ComplexityHarness<T> {
         let cfg = self.config.with_seed(seed);
         let instance = model.instance_from_placement(placement, &self.graph, cfg, (u, v));
         if !self.pair_connected(&instance, u, v) {
+            faultnet_obs::count("routing.trials.rejected", 1);
             return None;
         }
         Some(self.classify_trial(router, &instance, u, v))
@@ -627,8 +645,12 @@ impl<T: Topology> ComplexityHarness<T> {
             let conditioned = batch.connected_lanes(u, v);
             (0..lanes)
                 .map(|l| {
-                    (conditioned >> l & 1 == 1)
-                        .then(|| self.classify_trial(router, &batch.lane_view(l), u, v))
+                    if conditioned >> l & 1 == 1 {
+                        Some(self.classify_trial(router, &batch.lane_view(l), u, v))
+                    } else {
+                        faultnet_obs::count("routing.trials.rejected", 1);
+                        None
+                    }
                 })
                 .collect()
         };
@@ -724,8 +746,12 @@ impl<T: Topology> ComplexityHarness<T> {
             let conditioned = batch.connected_lanes(u, v);
             (0..lanes)
                 .map(|l| {
-                    (conditioned >> l & 1 == 1)
-                        .then(|| self.classify_trial(router, &batch.lane_view(l), u, v))
+                    if conditioned >> l & 1 == 1 {
+                        Some(self.classify_trial(router, &batch.lane_view(l), u, v))
+                    } else {
+                        faultnet_obs::count("routing.trials.rejected", 1);
+                        None
+                    }
                 })
                 .collect()
         };

@@ -130,19 +130,20 @@ impl Graph {
 /// the engines sequential means `--workers` provably cannot change a
 /// response byte (the engines are bit-identical across thread counts
 /// anyway — this just removes the knob entirely).
-const MEASURE_THREADS: usize = 1;
+pub const MEASURE_THREADS: usize = 1;
 
 /// Trial-batch lanes for the probes metric: full 64-lane words. Batching
 /// is bit-identical to the scalar engine by the workspace contract, and
 /// models/families that cannot batch fall back to the scalar path inside
 /// the harness.
-const TRIAL_LANES: usize = 64;
+pub const TRIAL_LANES: usize = 64;
 
 fn probes_answer<T: Topology + Sync + Clone>(
     graph: &T,
     query: &Query,
     pair: (VertexId, VertexId),
 ) -> Json {
+    let _span = faultnet_obs::span("server.probes_measure");
     let model = query.fault_model.build();
     let config = PercolationConfig::new(query.p, query.seed);
     let harness = ComplexityHarness::new(graph.clone(), config);
@@ -199,8 +200,13 @@ fn connectivity_answer<T: Topology + Sync>(
         .expect("census cache poisoned")
         .get(&key);
     let entry = match cached {
-        Some(entry) => entry,
+        Some(entry) => {
+            faultnet_obs::count("server.census_cache.hits", 1);
+            entry
+        }
         None => {
+            faultnet_obs::count("server.census_cache.misses", 1);
+            let _span = faultnet_obs::span("server.census_compute");
             let model = query.fault_model.build();
             let config = PercolationConfig::new(query.p, query.seed);
             let instance = model.instance(graph, config, Some(pair));

@@ -66,8 +66,9 @@ impl Histogram {
 }
 
 /// Aggregated server metrics; every field is update-safe from any worker.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
+    started: std::time::Instant,
     requests_total: AtomicU64,
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
@@ -78,10 +79,26 @@ pub struct Metrics {
     latency_by_family: Mutex<BTreeMap<String, Histogram>>,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
 impl Metrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics; the uptime gauge starts counting now.
     pub fn new() -> Self {
-        Metrics::default()
+        Metrics {
+            started: std::time::Instant::now(),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
+            latency_by_family: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// Records one completed request.
@@ -120,7 +137,17 @@ impl Metrics {
 
     /// Renders the plain-text exposition body for `GET /metrics`.
     pub fn render(&self) -> String {
+        self.render_at(self.started.elapsed().as_secs())
+    }
+
+    /// [`Metrics::render`] at an explicit uptime value. Factored out so the
+    /// determinism tests can pin the one wall-clock-dependent line; every
+    /// other line is a pure function of the recorded requests.
+    pub fn render_at(&self, uptime_seconds: u64) -> String {
         let mut out = String::new();
+        out.push_str(&format!(
+            "faultnet_server_uptime_seconds {uptime_seconds}\n"
+        ));
         let total = self.requests_total.load(Ordering::Relaxed);
         out.push_str(&format!("faultnet_requests_total {total}\n"));
         for (class, counter) in [
@@ -232,9 +259,23 @@ mod tests {
     #[test]
     fn idle_render_is_stable() {
         let metrics = Metrics::new();
-        assert_eq!(metrics.render(), metrics.render());
+        // Pin the uptime gauge — the only wall-clock-dependent line — so
+        // the byte-identity assertion cannot flake across a second
+        // boundary.
+        assert_eq!(metrics.render_at(7), metrics.render_at(7));
         assert!(metrics
             .render()
             .contains("faultnet_query_cache_hit_rate 0\n"));
+    }
+
+    #[test]
+    fn uptime_gauge_is_first_line() {
+        let metrics = Metrics::new();
+        let text = metrics.render_at(42);
+        assert!(text.starts_with("faultnet_server_uptime_seconds 42\n"));
+        // The live render carries a real (small) uptime.
+        assert!(metrics
+            .render()
+            .starts_with("faultnet_server_uptime_seconds "));
     }
 }

@@ -92,6 +92,10 @@ impl ServerHandle {
 /// Panics if `config.workers` is zero.
 pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     assert!(config.workers > 0, "at least one worker is required");
+    // A long-lived server always counts: the engine counters feed
+    // `/metrics`, and the disabled-mode saving (one relaxed load) is
+    // meaningless against network round-trips.
+    faultnet_obs::enable();
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let service = Arc::new(QueryService::new(config.cache_capacity));
@@ -152,10 +156,13 @@ fn serve_connection(mut stream: TcpStream, service: &QueryService, log: bool) {
         &response.body,
     );
     if log {
-        eprintln!(
-            "{}",
-            QueryService::log_line(&request, &response, started.elapsed())
-        );
+        // One write(2) per line under the stderr lock: interleaved workers
+        // can reorder whole lines but never shear one mid-line.
+        faultnet_obs::log_line(&QueryService::log_line(
+            &request,
+            &response,
+            started.elapsed(),
+        ));
     }
 }
 

@@ -65,20 +65,37 @@ impl QueryService {
     /// Dispatches one request and records it in the metrics.
     pub fn handle(&self, request: &Request) -> Response {
         let started = Instant::now();
+        let span = faultnet_obs::span("server.request");
         let response = match (request.method.as_str(), request.target.as_str()) {
             ("POST", "/query") => self.handle_query(&request.body),
-            ("GET", "/metrics") => text_response(200, self.metrics.render().into_bytes()),
+            ("GET", "/metrics") => text_response(200, self.render_metrics().into_bytes()),
+            ("GET", "/version") => version_response(),
             ("GET", "/healthz") => text_response(200, b"ok\n".to_vec()),
             ("POST" | "GET", _) => error_response(404, "no such route"),
             _ => error_response(405, "method not allowed"),
         };
+        drop(span);
         self.metrics.record(
             response.family,
             response.status,
             response.cache,
             started.elapsed(),
         );
+        // Publish this worker's instrumentation buffers at the request
+        // boundary so a subsequent /metrics scrape (from any worker) sees
+        // every completed request's counters.
+        faultnet_obs::flush_thread();
         response
+    }
+
+    /// The `/metrics` body: the request-accounting metrics followed by the
+    /// engine-level observability counters. Both halves render in a
+    /// deterministic order; the obs half is empty when instrumentation is
+    /// off (quiet servers never pay for it).
+    fn render_metrics(&self) -> String {
+        let mut body = self.metrics.render();
+        body.push_str(&faultnet_obs::render_prometheus());
+        body
     }
 
     fn handle_query(&self, body: &[u8]) -> Response {
@@ -161,6 +178,53 @@ fn error_response(status: u16, message: &str) -> Response {
     body.push('\n');
     Response {
         status,
+        content_type: "application/json",
+        body: Arc::new(body.into_bytes()),
+        family: "-",
+        cache: None,
+        key_hash: 0,
+    }
+}
+
+/// The `GET /version` body: crate version, build profile, and the pinned
+/// engine knob defaults, in a fixed field order so two requests are
+/// byte-identical for the life of the process.
+fn version_response() -> Response {
+    let config = crate::serve::ServerConfig::default();
+    let mut body = Json::Obj(vec![
+        (
+            "version".to_string(),
+            Json::Str(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+        (
+            "profile".into(),
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "measure_threads".into(),
+            Json::UInt(crate::engine::MEASURE_THREADS as u64),
+        ),
+        (
+            "trial_lanes".into(),
+            Json::UInt(crate::engine::TRIAL_LANES as u64),
+        ),
+        ("default_workers".into(), Json::UInt(config.workers as u64)),
+        (
+            "default_cache_capacity".into(),
+            Json::UInt(config.cache_capacity as u64),
+        ),
+    ])
+    .render();
+    body.push('\n');
+    Response {
+        status: 200,
         content_type: "application/json",
         body: Arc::new(body.into_bytes()),
         family: "-",
@@ -268,6 +332,32 @@ mod tests {
             body: Vec::new(),
         });
         assert_eq!(put.status, 405);
+    }
+
+    #[test]
+    fn version_route_is_deterministic_json() {
+        let service = QueryService::new(8);
+        let get = |target: &str| {
+            service.handle(&Request {
+                method: "GET".into(),
+                target: target.into(),
+                body: Vec::new(),
+            })
+        };
+        let first = get("/version");
+        assert_eq!(first.status, 200);
+        assert_eq!(first.content_type, "application/json");
+        let text = std::str::from_utf8(&first.body).unwrap();
+        assert!(
+            text.starts_with(&format!("{{\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+            "version leads the body: {text}"
+        );
+        assert!(text.contains("\"trial_lanes\":64"), "{text}");
+        assert!(text.contains("\"measure_threads\":1"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+        // Two scrapes are byte-identical for the life of the process.
+        let second = get("/version");
+        assert_eq!(first.body, second.body);
     }
 
     #[test]

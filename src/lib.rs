@@ -22,6 +22,10 @@
 //! * [`experiments`] — one reproducible experiment per paper result.
 //! * [`server`] — a long-lived HTTP query service over the measurement
 //!   engines, with cached censuses, request coalescing, and `/metrics`.
+//! * [`obs`] — the runtime-gated instrumentation layer (spans, counters,
+//!   log₂ histograms) threaded through the engines' hot paths, with a
+//!   zero-perturbation guarantee: enabled or not, it never changes a
+//!   measurement byte.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@
 pub use faultnet_analysis as analysis;
 pub use faultnet_experiments as experiments;
 pub use faultnet_faultmodel as faultmodel;
+pub use faultnet_obs as obs;
 pub use faultnet_percolation as percolation;
 pub use faultnet_routing as routing;
 pub use faultnet_server as server;
