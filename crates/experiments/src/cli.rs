@@ -23,7 +23,8 @@
 //!   the trial-batched (multispin) percolation engine, packing up to
 //!   `min(N, 64)` consecutive trials into one transposed bitset word per
 //!   edge. Consumed by the trial-fan-out binaries (`exp_hypercube_giant`,
-//!   `exp_mesh_threshold`, `exp_fault_models`) and by `run_all`; the others
+//!   `exp_mesh_threshold`, `exp_fault_models`, `exp_real_world`) and by
+//!   `run_all`; the others
 //!   warn on stderr ([`ExpArgs::warn_trial_batch_ignored`]). `N = 0` (the
 //!   default) keeps the scalar engine. The batched engine is bit-identical
 //!   to the scalar one — every emitted byte is the same for every `N` —
@@ -40,7 +41,8 @@
 //! * `--fault-model NAME` (or `--fault-model=NAME`) — select one named
 //!   fault model (`bernoulli-edges`, `bernoulli-nodes`,
 //!   `correlated-regions`, `adversarial-budget`). Consumed by
-//!   `exp_fault_models` (absent = all models side by side); the E1–E10
+//!   `exp_fault_models` and `exp_real_world` (absent = all models side by
+//!   side); the E1–E10
 //!   reproduction binaries always measure the paper's Bernoulli edge
 //!   faults and warn on stderr if the flag is passed
 //!   ([`ExpArgs::warn_fault_model_ignored`]).
@@ -108,7 +110,8 @@ pub struct ExpArgs {
     pub markdown: bool,
     /// The fault model selected with `--fault-model`, if any. `None` means
     /// the binary's default (Bernoulli edge faults for the paper
-    /// reproductions; every model side by side for `exp_fault_models`).
+    /// reproductions; every model side by side for `exp_fault_models` and
+    /// `exp_real_world`).
     pub fault_model: Option<FaultModelSpec>,
     /// Chrome-trace output path from `--trace FILE`, if any. `Some` turns
     /// on span capture for the whole run; the file is written by
@@ -289,7 +292,8 @@ impl ExpArgs {
             eprintln!(
                 "--trial-batch {} is ignored by {binary}; the trial-batched \
                  engine applies to the trial-fan-out experiments \
-                 (exp_hypercube_giant, exp_mesh_threshold, exp_fault_models)",
+                 (exp_hypercube_giant, exp_mesh_threshold, exp_fault_models, \
+                 exp_real_world)",
                 self.trial_batch
             );
         }

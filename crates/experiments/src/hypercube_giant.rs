@@ -85,6 +85,30 @@ pub fn measure_hypercube_point_with_model<M: faultnet_faultmodel::FaultModel + S
 ) -> HypercubePoint {
     let _span = faultnet_obs::span("hypercube_giant.point");
     let cube = Hypercube::new(dimension);
+    measure_giant_point_with_model(model, &cube, p, trials, base_seed, exec)
+}
+
+/// The family-generic giant/connectivity engine behind
+/// [`measure_hypercube_point_with_model`]: measures any [`Topology`] under
+/// any fault model with the same seed discipline, batched/scalar
+/// equivalence, and trial-order summation. `exp_real_world` (E13) drives it
+/// over loaded and generated [`faultnet_topology::explicit::ExplicitGraph`]
+/// substrates, whose adjacency-slot `edge_index` makes them batchable like
+/// the closed-form families. The returned [`HypercubePoint`] is the
+/// substrate-agnostic point record despite its historical name.
+pub fn measure_giant_point_with_model<M, T>(
+    model: &M,
+    graph: &T,
+    p: f64,
+    trials: u32,
+    base_seed: u64,
+    exec: TrialExec,
+) -> HypercubePoint
+where
+    M: faultnet_faultmodel::FaultModel + Sync + ?Sized,
+    T: Topology + Sync,
+{
+    let cube = graph;
     // No routed pair in a giant scan; the FaultModel contract defines an
     // absent pair as the canonical pair, so hoisting the placement for the
     // canonical pair (once, instead of inside every trial — the adversary's
@@ -92,13 +116,13 @@ pub fn measure_hypercube_point_with_model<M: faultnet_faultmodel::FaultModel + S
     // the `None` configuration. Both halves of that equality are
     // property-tested in the faultmodel crate.
     let pair = cube.canonical_pair();
-    let placement = model.pair_placement(&cube, pair);
+    let placement = model.pair_placement(cube, pair);
     let mut batched = exec.batched();
     if batched && !model.lane_batchable() {
         faultnet_faultmodel::warn_scalar_fallback(&model.name());
         batched = false;
     }
-    let (giant_total, connected_count) = if batched && TrialBatch::supported(&cube) {
+    let (giant_total, connected_count) = if batched && TrialBatch::supported(cube) {
         // Multispin path: each chunk samples up to 64 instances into one
         // transposed word array, then walks the lanes in trial order. Lane
         // `l` of the chunk at `t0` uses seed `base_seed + t0 + l` — the
@@ -112,14 +136,14 @@ pub fn measure_hypercube_point_with_model<M: faultnet_faultmodel::FaultModel + S
                 .map(|l| {
                     let seed = base_seed.wrapping_add(t0 as u64).wrapping_add(l as u64);
                     let cfg = PercolationConfig::new(p, seed);
-                    model.instance_from_placement(&placement, &cube, cfg, pair)
+                    model.instance_from_placement(&placement, cube, cfg, pair)
                 })
                 .collect();
-            let batch = TrialBatch::from_lane_states(&cube, &instances);
+            let batch = TrialBatch::from_lane_states(cube, &instances);
             (0..lanes)
                 .map(|l| {
                     let census = ComponentCensus::compute_parallel(
-                        &cube,
+                        cube,
                         &batch.lane_view(l),
                         exec.census_threads,
                     );
@@ -139,9 +163,9 @@ pub fn measure_hypercube_point_with_model<M: faultnet_faultmodel::FaultModel + S
     } else {
         let per_trial = Sweep::over(0..trials).run_parallel(exec.threads.max(1), |&t| {
             let cfg = PercolationConfig::new(p, base_seed.wrapping_add(t as u64));
-            let instance = model.instance_from_placement(&placement, &cube, cfg, pair);
-            let sample = BitsetSample::from_states(&cube, &instance);
-            let census = ComponentCensus::compute_parallel(&cube, &sample, exec.census_threads);
+            let instance = model.instance_from_placement(&placement, cube, cfg, pair);
+            let sample = BitsetSample::from_states(cube, &instance);
+            let census = ComponentCensus::compute_parallel(cube, &sample, exec.census_threads);
             (census.giant_fraction(), census.num_components() == 1)
         });
         let mut giant_total = 0.0;

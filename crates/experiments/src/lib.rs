@@ -20,6 +20,7 @@
 //! | E10 | design-choice ablations | [`ablation`] |
 //! | E11 | fault-model scenarios — E4/E8a grids under node, correlated, and adversarial faults | [`fault_models`] |
 //! | E12 | dynamic fault churn — giant fraction and routability over time, incremental census | [`churn`] |
+//! | E13 | fault-model matrix on real-world/scale-free substrates (loaded + generated) | [`real_world`] |
 //!
 //! Each module exposes an experiment struct with `quick()` (seconds; used by
 //! tests and Criterion benches) and `full()` (minutes; used by the `exp-*`
@@ -27,7 +28,7 @@
 //! `--threads` flag (trials fan across scoped worker threads; the reported
 //! numbers are bit-identical for every thread count), and a `run()` method
 //! producing an [`report::ExperimentReport`]. The trial-fan-out experiments
-//! (E8a, E8b, E11) additionally accept the `--trial-batch` knob via a
+//! (E8a, E8b, E11, E13) additionally accept the `--trial-batch` knob via a
 //! `with_trial_batch` builder: their benign columns run on the multispin
 //! [`faultnet_percolation::TrialBatch`] engine, again with bit-identical
 //! output (see [`exec::TrialExec`]). Shared flag parsing lives in [`cli`].
@@ -48,6 +49,7 @@ pub mod hypercube_transition;
 pub mod mesh_routing;
 pub mod mesh_threshold;
 pub mod open_questions;
+pub mod real_world;
 pub mod report;
 pub mod suite;
 

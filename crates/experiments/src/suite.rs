@@ -19,8 +19,8 @@ use crate::{
     gnp::GnpExperiment, hypercube_giant::HypercubeGiantExperiment,
     hypercube_lower_bound::HypercubeLowerBoundExperiment,
     hypercube_transition::HypercubeTransitionExperiment, mesh_routing::MeshRoutingExperiment,
-    mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment, Effort,
-    ExperimentReport,
+    mesh_threshold::MeshThresholdExperiment, open_questions::OpenQuestionsExperiment,
+    real_world::RealWorldExperiment, Effort, ExperimentReport,
 };
 
 /// One registered experiment: its identity plus a uniform way to run it at
@@ -33,8 +33,8 @@ pub struct RegisteredExperiment {
     /// One-line description (paper result or scenario).
     pub title: &'static str,
     /// Whether this experiment consumes the `--trial-batch` knob (the
-    /// trial-fan-out experiments: E8a, E8b, E11). For the rest the knob is
-    /// a no-op — their trial structure has nothing for lanes to pack.
+    /// trial-fan-out experiments: E8a, E8b, E11, E13). For the rest the knob
+    /// is a no-op — their trial structure has nothing for lanes to pack.
     pub supports_trial_batch: bool,
     run: fn(Effort, usize, usize, usize) -> ExperimentReport,
 }
@@ -60,7 +60,7 @@ impl RegisteredExperiment {
     }
 }
 
-/// Every experiment, in canonical E1→E12 order. The one list to extend when
+/// Every experiment, in canonical E1→E13 order. The one list to extend when
 /// adding an experiment; `run_all` and the end-to-end tests derive from it.
 pub fn registry() -> Vec<RegisteredExperiment> {
     // A macro keeps each entry to one line and guarantees every experiment
@@ -115,6 +115,7 @@ pub fn registry() -> Vec<RegisteredExperiment> {
         "E10", "exp_ablation", "design-choice ablations" => scalar AblationExperiment;
         "E11", "exp_fault_models", "fault-model scenario matrix (node/correlated/adversarial)" => batched FaultModelsExperiment;
         "E12", "exp_churn", "dynamic fault churn — incremental census over fail/repair dynamics" => scalar ChurnExperiment;
+        "E13", "exp_real_world", "fault-model matrix on real-world/scale-free substrates" => batched RealWorldExperiment;
     }
 }
 
@@ -187,7 +188,8 @@ mod tests {
             [
                 "exp_hypercube_giant",
                 "exp_mesh_threshold",
-                "exp_fault_models"
+                "exp_fault_models",
+                "exp_real_world"
             ],
             "the --trial-batch consumers changed; update the binaries' \
              warn_trial_batch_ignored list and docs/EXPERIMENTS.md"

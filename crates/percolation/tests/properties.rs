@@ -40,6 +40,13 @@ fn family_zoo() -> Vec<Box<dyn Topology>> {
         Box::new(CycleWithMatching::new(16, MatchingKind::Antipodal)),
         Box::new(CycleWithMatching::new(16, MatchingKind::Random { seed: 5 })),
         Box::new(ExplicitGraph::from_topology(&Mesh::new(2, 4))),
+        // Loaded and generated substrates from `topology::load`, so the
+        // three-backend agreement sweeps cover irregular degree sequences
+        // (hubs, degree-1 hosts) alongside the structured families.
+        Box::new(faultnet_topology::load::karate_club().graph),
+        Box::new(faultnet_topology::load::barabasi_albert(48, 2, 9)),
+        Box::new(faultnet_topology::load::fat_tree(4)),
+        Box::new(faultnet_topology::load::random_regular(40, 3, 17)),
     ]
 }
 

@@ -23,6 +23,7 @@ use faultnet_routing::bfs::FloodRouter;
 use faultnet_routing::complexity::{ComplexityHarness, ComplexityStats};
 use faultnet_topology::complete::CompleteGraph;
 use faultnet_topology::double_tree::DoubleBinaryTree;
+use faultnet_topology::explicit::ExplicitGraph;
 use faultnet_topology::hypercube::Hypercube;
 use faultnet_topology::mesh::Mesh;
 use faultnet_topology::{Topology, VertexId};
@@ -56,6 +57,9 @@ pub enum Graph {
     Complete(CompleteGraph),
     /// `Family::DoubleTree`.
     DoubleTree(DoubleBinaryTree),
+    /// `Family::Explicit` — a loaded or generated substrate, materialised
+    /// once per request (the census LRU still dedupes the expensive part).
+    Explicit(ExplicitGraph),
 }
 
 /// Runs `op` with the concrete graph (monomorphized per family).
@@ -66,6 +70,7 @@ macro_rules! with_graph {
             Graph::Mesh($g) => $body,
             Graph::Complete($g) => $body,
             Graph::DoubleTree($g) => $body,
+            Graph::Explicit($g) => $body,
         }
     };
 }
@@ -78,6 +83,7 @@ impl Graph {
             Family::Mesh { dim, side } => Graph::Mesh(Mesh::new(dim, side)),
             Family::Complete { order } => Graph::Complete(CompleteGraph::new(order)),
             Family::DoubleTree { depth } => Graph::DoubleTree(DoubleBinaryTree::new(depth)),
+            Family::Explicit(spec) => Graph::Explicit(spec.build()),
         }
     }
 
@@ -324,6 +330,13 @@ mod tests {
             (r#"{"family":"mesh","n":8,"dim":2,"p":0.7}"#, Metric::Probes),
             (r#"{"family":"complete","n":32,"p":0.2}"#, Metric::Probes),
             (r#"{"family":"double-tree","n":5,"p":0.8}"#, Metric::Probes),
+            (r#"{"family":"explicit:karate","p":0.8}"#, Metric::Probes),
+            (r#"{"family":"explicit:ba-64-2","p":0.7}"#, Metric::Probes),
+            (r#"{"family":"explicit:fattree-4","p":0.9}"#, Metric::Probes),
+            (
+                r#"{"family":"explicit:regular-64-4","p":0.6}"#,
+                Metric::Probes,
+            ),
         ] {
             let mut q = query(text);
             let graph = Graph::build(&q);

@@ -11,6 +11,7 @@
 //! and the same coalesced flight.
 
 use faultnet_faultmodel::FaultModelSpec;
+use faultnet_topology::load::SubstrateSpec;
 use faultnet_topology::VertexId;
 
 use crate::json::Json;
@@ -48,16 +49,36 @@ pub enum Family {
         /// Tree depth (1..=18).
         depth: u32,
     },
+    /// A named real-world/synthetic substrate (`"explicit:<name>"`),
+    /// resolved through [`SubstrateSpec`]: the bundled karate-club dataset
+    /// or a deterministic generated graph (`ba-<n>-<m>`, `fattree-<k>`,
+    /// `regular-<n>-<d>`). The spec is validated at parse time and
+    /// materialised into an explicit graph at build time.
+    Explicit(SubstrateSpec),
 }
 
 impl Family {
-    /// The family's wire name (the `"family"` field value).
+    /// The family's wire-name *prefix* (the `"family"` field value; for
+    /// explicit substrates the full wire form is `"explicit:<name>"` — kept
+    /// out of this `&'static str` so per-family metrics stay bounded at one
+    /// `"explicit"` bucket however many substrate names clients invent).
     pub fn wire_name(&self) -> &'static str {
         match self {
             Family::Hypercube { .. } => "hypercube",
             Family::Mesh { .. } => "mesh",
             Family::Complete { .. } => "complete",
             Family::DoubleTree { .. } => "double-tree",
+            Family::Explicit(_) => "explicit",
+        }
+    }
+
+    /// The full wire form: [`Family::wire_name`] for the closed-form
+    /// families, `"explicit:<name>"` for substrates. This is what
+    /// [`Query::canonical_key`] and [`Query::census_key`] embed.
+    pub fn wire_form(&self) -> String {
+        match self {
+            Family::Explicit(spec) => format!("explicit:{}", spec.canonical_name()),
+            other => other.wire_name().to_string(),
         }
     }
 }
@@ -111,10 +132,9 @@ impl Query {
     /// Returns a message naming the offending field for unknown families or
     /// metrics, missing or out-of-range parameters, and size caps.
     pub fn from_json(json: &Json) -> Result<Query, String> {
-        let family_name = json
-            .get("family")
-            .and_then(Json::as_str)
-            .ok_or("missing \"family\" (hypercube | mesh | complete | double-tree)")?;
+        let family_name = json.get("family").and_then(Json::as_str).ok_or(
+            "missing \"family\" (hypercube | mesh | complete | double-tree | explicit:<name>)",
+        )?;
         let n = || {
             json.get("n")
                 .and_then(Json::as_u64)
@@ -170,11 +190,23 @@ impl Query {
                     depth: depth as u32,
                 }
             }
-            other => {
-                return Err(format!(
-                    "unknown family {other:?}; valid: hypercube, mesh, complete, double-tree"
-                ))
-            }
+            other => match other.strip_prefix("explicit:") {
+                Some(name) => {
+                    let spec = SubstrateSpec::parse(name)?;
+                    if spec.num_vertices() > MAX_VERTICES {
+                        return Err(format!(
+                            "substrate {name:?} exceeds {MAX_VERTICES} vertices"
+                        ));
+                    }
+                    Family::Explicit(spec)
+                }
+                None => {
+                    return Err(format!(
+                        "unknown family {other:?}; valid: hypercube, mesh, complete, \
+                         double-tree, explicit:<name>"
+                    ))
+                }
+            },
         };
         let fault_model = match json.get("fault_model") {
             None => FaultModelSpec::BernoulliEdges,
@@ -251,10 +283,7 @@ impl Query {
     /// keys; this string is the response-cache key, the coalescing key, and
     /// the `"query"` echo inside every response body.
     pub fn canonical_key(&self, pair: (VertexId, VertexId)) -> String {
-        let mut fields = vec![(
-            "family".to_string(),
-            Json::Str(self.family.wire_name().to_string()),
-        )];
+        let mut fields = vec![("family".to_string(), Json::Str(self.family.wire_form()))];
         match self.family {
             Family::Hypercube { n } => fields.push(("n".into(), Json::UInt(n as u64))),
             Family::Mesh { dim, side } => {
@@ -263,6 +292,9 @@ impl Query {
             }
             Family::Complete { order } => fields.push(("n".into(), Json::UInt(order))),
             Family::DoubleTree { depth } => fields.push(("n".into(), Json::UInt(depth as u64))),
+            // The substrate name inside the family value is the whole
+            // parameterisation; there is no separate "n".
+            Family::Explicit(_) => {}
         }
         fields.push((
             "fault_model".into(),
@@ -298,6 +330,7 @@ impl Query {
             Family::Mesh { dim, side } => key.push_str(&format!("/{side}^{dim}")),
             Family::Complete { order } => key.push_str(&format!("/{order}")),
             Family::DoubleTree { depth } => key.push_str(&format!("/{depth}")),
+            Family::Explicit(spec) => key.push_str(&format!("/{}", spec.canonical_name())),
         }
         key.push_str(&format!(
             "|{}|{}|{}",
@@ -386,6 +419,33 @@ mod tests {
     }
 
     #[test]
+    fn parses_explicit_substrate_families() {
+        let q = parse(r#"{"family":"explicit:karate","p":0.7}"#).unwrap();
+        assert_eq!(q.family.wire_name(), "explicit");
+        assert_eq!(q.family.wire_form(), "explicit:karate");
+        let q = parse(r#"{"family":"explicit:ba-256-3","p":0.5,"seed":7}"#).unwrap();
+        assert_eq!(q.family.wire_form(), "explicit:ba-256-3");
+        // Explicit substrates carry their whole parameterisation in the
+        // family string, so "n" is not required (and is ignored if present).
+        let with_n = parse(r#"{"family":"explicit:fattree-4","n":99,"p":0.5}"#).unwrap();
+        assert_eq!(with_n.family.wire_form(), "explicit:fattree-4");
+    }
+
+    #[test]
+    fn distinct_substrates_get_distinct_keys() {
+        let a = parse(r#"{"family":"explicit:karate","p":0.5}"#).unwrap();
+        let b = parse(r#"{"family":"explicit:regular-64-4","p":0.5}"#).unwrap();
+        let pair = (VertexId(0), VertexId(33));
+        assert_ne!(a.canonical_key(pair), b.canonical_key(pair));
+        assert_ne!(a.census_key(pair), b.census_key(pair));
+        // And the canonical key embeds the full wire form, so equal queries
+        // coalesce.
+        let a2 = parse(r#"{"family":"explicit:karate","p":0.5}"#).unwrap();
+        assert_eq!(a.canonical_key(pair), a2.canonical_key(pair));
+        assert!(a.canonical_key(pair).contains("explicit:karate"));
+    }
+
+    #[test]
     fn validation_rejects_out_of_range_queries() {
         for bad in [
             r#"{"family":"hypercube","n":22,"p":0.5}"#,
@@ -398,6 +458,10 @@ mod tests {
             r#"{"family":"complete","n":1000000,"p":0.5}"#,
             r#"{"family":"double-tree","n":30,"p":0.5}"#,
             r#"{"family":"petersen","n":10,"p":0.5}"#,
+            r#"{"family":"explicit:petersen","p":0.5}"#,
+            r#"{"family":"explicit:ba-3-3","p":0.5}"#,
+            r#"{"family":"explicit:regular-999999-4","p":0.5}"#,
+            r#"{"family":"explicit:","p":0.5}"#,
             r#"{"family":"hypercube","n":10,"p":0.5,"metric":"vibes"}"#,
             r#"{"family":"hypercube","n":10,"p":0.5,"fault_model":"martian"}"#,
             r#"{"family":"hypercube","n":10,"p":0.5,"pair":[0]}"#,

@@ -290,6 +290,23 @@ mod tests {
     }
 
     #[test]
+    fn explicit_substrates_answer_end_to_end() {
+        let service = QueryService::new(8);
+        let body = r#"{"family":"explicit:karate","p":0.8,"metric":"connectivity"}"#;
+        let cold = post(&service, body);
+        assert_eq!(cold.status, 200);
+        let text = std::str::from_utf8(&cold.body).unwrap();
+        assert!(text.contains("explicit:karate"), "{text}");
+        assert!(text.contains("\"num_vertices\":34"), "{text}");
+        let warm = post(&service, body);
+        assert_eq!(warm.cache, Some(CacheStatus::Hit));
+        assert_eq!(cold.body, warm.body);
+        // A malformed substrate name is a 400, not a panic.
+        let bad = post(&service, r#"{"family":"explicit:ba-9","p":0.5}"#);
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
     fn bad_queries_get_400_with_a_json_error() {
         let service = QueryService::new(8);
         for body in ["not json", r#"{"family":"petersen","n":3,"p":0.5}"#, "{}"] {

@@ -40,8 +40,24 @@ impl ExplicitGraph {
         }
     }
 
-    /// Builds a graph on `n` vertices from an edge list. Duplicate edges and
-    /// self-loops are ignored.
+    /// Builds a graph on `n` vertices from an edge list. Duplicate edges are
+    /// counted once and self-loops are ignored — this is the loader-facing
+    /// contract, so raw real-world edge lists (AS graphs ship both) build
+    /// without preprocessing. Direction is irrelevant: `(a, b)` and `(b, a)`
+    /// are the same undirected edge.
+    ///
+    /// The whole list is canonicalised, sorted, and deduplicated in
+    /// `O(E log E)` before adjacency construction — no per-insertion
+    /// duplicate scan, so hub vertices (scale-free graphs routinely
+    /// concentrate thousands of edges on one vertex) cost the same per edge
+    /// as everything else. Adjacency lists come out sorted by neighbor id,
+    /// a deterministic order independent of the input order, so
+    /// [`Topology::edge_index`] slots — and everything rendered from them —
+    /// are byte-stable across permutations of the same edge set.
+    ///
+    /// For incremental, strictly validated construction use
+    /// [`ExplicitGraph::add_edge`], which *panics* on self-loops instead of
+    /// skipping them.
     ///
     /// # Panics
     ///
@@ -50,25 +66,59 @@ impl ExplicitGraph {
     where
         I: IntoIterator<Item = (u64, u64)>,
     {
-        let mut g = ExplicitGraph::new(n);
+        let mut canonical: Vec<(u64, u64)> = Vec::new();
         for (a, b) in edges {
-            g.add_edge(VertexId(a), VertexId(b));
+            assert!(a < n, "vertex v{a} out of range");
+            assert!(b < n, "vertex v{b} out of range");
+            if a == b {
+                continue; // self-loops are ignored on the bulk path
+            }
+            canonical.push((a.min(b), a.max(b)));
         }
-        g
+        canonical.sort_unstable();
+        canonical.dedup();
+        let mut adjacency = vec![Vec::new(); n as usize];
+        // Scanning canonical (lo, hi) pairs in sorted order appends each
+        // vertex's smaller neighbors in increasing order first (edges where
+        // it is `hi`, sorted by `lo`) and then its larger neighbors in
+        // increasing order (edges where it is `lo`, sorted by `hi`), so
+        // every adjacency list ends up fully sorted without a second pass.
+        for &(a, b) in &canonical {
+            adjacency[a as usize].push(VertexId(b));
+            adjacency[b as usize].push(VertexId(a));
+        }
+        let max_degree = adjacency.iter().map(Vec::len).max().unwrap_or(0);
+        ExplicitGraph {
+            adjacency,
+            num_edges: canonical.len() as u64,
+            max_degree,
+            label: format!("explicit(n={n})"),
+        }
     }
 
     /// Materialises any [`Topology`] into an explicit graph (intended for
     /// small graphs; the hypercube at `n = 20` would need hundreds of MB).
-    pub fn from_topology<T: Topology>(source: &T) -> Self {
-        let mut g = ExplicitGraph::new(source.num_vertices());
+    ///
+    /// Built through the bulk [`ExplicitGraph::from_edges`] path, so the
+    /// adjacency lists are sorted by neighbor id regardless of the source's
+    /// enumeration order.
+    pub fn from_topology<T: Topology + ?Sized>(source: &T) -> Self {
+        let mut g = ExplicitGraph::from_edges(
+            source.num_vertices(),
+            source.edges().into_iter().map(|e| (e.lo().0, e.hi().0)),
+        );
         g.label = format!("explicit({})", source.name());
-        for e in source.edges() {
-            g.add_edge(e.lo(), e.hi());
-        }
         g
     }
 
     /// Adds the undirected edge `{a, b}`. Returns `true` if the edge was new.
+    ///
+    /// This is the strict direct API: hand-built graphs want a self-loop to
+    /// fail loudly, so unlike the forgiving bulk [`ExplicitGraph::from_edges`]
+    /// path it panics rather than skipping. It appends in insertion order
+    /// (no re-sort) and scans one adjacency list per call to detect
+    /// duplicates — fine for hand-crafted graphs, quadratic on hub vertices;
+    /// bulk construction should go through [`ExplicitGraph::from_edges`].
     ///
     /// # Panics
     ///
@@ -166,6 +216,70 @@ mod tests {
     }
 
     #[test]
+    fn from_edges_skips_self_loops_per_the_documented_contract() {
+        // The loader-contract pin: a raw real-world edge list — self-loops,
+        // duplicates in both orientations, all mixed in — must build the
+        // documented graph without panicking. (The strict add_edge path
+        // still panics on a self-loop; see self_loop_rejected below.)
+        let g = ExplicitGraph::from_edges(
+            4,
+            [
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (2, 2),
+                (1, 2),
+                (0, 1),
+                (3, 3),
+                (2, 3),
+            ],
+        );
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(VertexId(0)), vec![VertexId(1)]);
+        assert_eq!(g.neighbors(VertexId(2)), vec![VertexId(1), VertexId(3)]);
+        check_topology_invariants(&g);
+    }
+
+    #[test]
+    fn from_edges_is_deterministic_across_input_permutations() {
+        // Same edge set, shuffled and re-oriented: identical graph,
+        // identical adjacency order, identical edge_index slots.
+        let a = ExplicitGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let b = ExplicitGraph::from_edges(5, [(3, 1), (0, 4), (3, 2), (2, 1), (1, 0), (4, 3)]);
+        assert_eq!(a, b);
+        for e in a.edges() {
+            assert_eq!(a.edge_index(e), b.edge_index(e));
+        }
+        // And adjacency lists are sorted by neighbor id.
+        for v in a.vertices() {
+            let neigh = a.neighbors(v);
+            let mut sorted = neigh.clone();
+            sorted.sort();
+            assert_eq!(neigh, sorted, "adjacency of {v} is not sorted");
+        }
+    }
+
+    #[test]
+    fn bulk_and_incremental_construction_agree_on_clean_input() {
+        // On an already-clean edge list the bulk path and the strict path
+        // build the same graph up to adjacency order (which the bulk path
+        // canonicalises by sorting).
+        let edges = [(0u64, 1u64), (1, 2), (2, 0), (2, 3), (3, 4)];
+        let bulk = ExplicitGraph::from_edges(5, edges);
+        let mut strict = ExplicitGraph::new(5);
+        for (a, b) in edges {
+            assert!(strict.add_edge(VertexId(a), VertexId(b)));
+        }
+        assert_eq!(bulk.num_edges(), strict.num_edges());
+        assert_eq!(bulk.max_degree(), strict.max_degree());
+        for v in bulk.vertices() {
+            let mut s = strict.neighbors(v);
+            s.sort();
+            assert_eq!(bulk.neighbors(v), s);
+        }
+    }
+
+    #[test]
     fn from_topology_preserves_structure() {
         let cube = Hypercube::new(4);
         let g = ExplicitGraph::from_topology(&cube);
@@ -198,7 +312,8 @@ mod tests {
         assert_eq!(g.edge_index_bound(), Some(5 * 4));
         // {0, 1}: slot 0 of vertex 0.
         assert_eq!(g.edge_index(EdgeId::new(VertexId(0), VertexId(1))), Some(0));
-        // {2, 4}: vertex 2's adjacency is [1, 0, 3, 4], so slot 3.
+        // {2, 4}: vertex 2's adjacency is [0, 1, 3, 4] (bulk-sorted prefix,
+        // then add_edge insertion order), so slot 3.
         assert_eq!(
             g.edge_index(EdgeId::new(VertexId(2), VertexId(4))),
             Some(2 * 4 + 3)

@@ -24,6 +24,10 @@
 //!   named in the open questions (§6).
 //! * [`explicit::ExplicitGraph`] — adjacency-list escape hatch and the target
 //!   of [`explicit::ExplicitGraph::from_topology`].
+//! * [`load`] — real-world and synthetic substrates materialised into
+//!   [`explicit::ExplicitGraph`]: an edge-list/CSV loader (with the bundled
+//!   karate-club dataset), plus Barabási–Albert, fat-tree, and random
+//!   `d`-regular generators.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -37,6 +41,7 @@ pub mod de_bruijn;
 pub mod double_tree;
 pub mod explicit;
 pub mod hypercube;
+pub mod load;
 pub mod mesh;
 pub mod shuffle_exchange;
 pub mod torus;

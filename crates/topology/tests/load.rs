@@ -1,0 +1,134 @@
+//! Integration tests for the substrate loader (`topology::load`).
+//!
+//! The load-bearing properties, checked on randomly drawn inputs:
+//!
+//! * **Round-trip**: `parse(emit(g)) == g` — the emitted edge list is a
+//!   faithful serialisation, including isolated vertices (which travel as
+//!   self-loop lines the parser registers-but-skips).
+//! * **Input-order independence**: permuting and re-orienting the lines of
+//!   an edge list yields the identical graph (same dense ids, same sorted
+//!   adjacency, same `edge_index` slots).
+//! * **The documented dirty-input contract**: self-loop- and
+//!   duplicate-containing lists load without panicking into exactly the
+//!   deduplicated simple graph the docs promise.
+
+use faultnet_topology::explicit::ExplicitGraph;
+use faultnet_topology::load::{
+    barabasi_albert, emit_edge_list, fat_tree, karate_club, parse_edge_list, random_regular,
+};
+use faultnet_topology::{check_topology_invariants, Topology, VertexId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // emit → parse → identical graph, for arbitrary (dirty) edge sets:
+    // self-loops in the input are dropped by `from_edges`, isolated vertices
+    // survive serialisation as self-loop lines, and the decimal labels
+    // relabel numerically back onto themselves.
+    #[test]
+    fn emit_then_parse_round_trips(
+        n in 1u64..40,
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..80),
+    ) {
+        let pairs: Vec<(u64, u64)> = raw.iter().map(|&(a, b)| (a % n, b % n)).collect();
+        let graph = ExplicitGraph::from_edges(n, pairs);
+        let text = emit_edge_list(&graph);
+        let back = parse_edge_list(&text).unwrap();
+        prop_assert_eq!(&back.graph, &graph);
+        prop_assert_eq!(back.labels.len() as u64, n);
+    }
+
+    // Permuting and re-orienting the data lines must not change anything:
+    // not the dense ids, not the adjacency order, not the edge_index slots.
+    #[test]
+    fn parse_is_independent_of_line_order_and_orientation(
+        n in 2u64..30,
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..60),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let pairs: Vec<(u64, u64)> = raw.iter().map(|&(a, b)| (a % n, b % n)).collect();
+        let render = |ps: &[(u64, u64)]| -> String {
+            ps.iter().map(|(a, b)| format!("{a} {b}\n")).collect()
+        };
+        // Deterministic keyed shuffle + per-line orientation flip.
+        let key = |i: usize, (a, b): (u64, u64)| {
+            (a ^ b).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shuffle_seed ^ i as u64
+        };
+        let mut scrambled: Vec<(usize, (u64, u64))> = pairs.iter().copied().enumerate().collect();
+        scrambled.sort_by_key(|&(i, p)| key(i, p));
+        let scrambled: Vec<(u64, u64)> = scrambled
+            .into_iter()
+            .map(|(i, (a, b))| if key(i, (a, b)) & 1 == 0 { (a, b) } else { (b, a) })
+            .collect();
+        let one = parse_edge_list(&render(&pairs)).unwrap();
+        let two = parse_edge_list(&render(&scrambled)).unwrap();
+        prop_assert_eq!(&one.graph, &two.graph);
+        prop_assert_eq!(&one.labels, &two.labels);
+        for e in one.graph.edges() {
+            prop_assert_eq!(one.graph.edge_index(e), two.graph.edge_index(e));
+        }
+    }
+
+    // Generators are pure functions of their parameters (and seed).
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>()) {
+        prop_assert_eq!(barabasi_albert(48, 2, seed), barabasi_albert(48, 2, seed));
+        prop_assert_eq!(random_regular(32, 4, seed), random_regular(32, 4, seed));
+        prop_assert_eq!(fat_tree(4), fat_tree(4));
+    }
+}
+
+/// The acceptance-criteria pin at the parser level: a self-loop-containing,
+/// duplicate-containing edge list loads without panicking into exactly the
+/// documented graph (self-loops register vertices but add no edges;
+/// duplicates — in either orientation — count once).
+#[test]
+fn dirty_edge_list_loads_into_the_documented_graph() {
+    let loaded = parse_edge_list(
+        "# a dirty real-world-style list\n\
+         7 9\n\
+         9 7        # reversed duplicate\n\
+         7 9        % exact duplicate, percent comment\n\
+         12 12      # self-loop: registers vertex 12, adds no edge\n\
+         9, 12\n\
+         12; 42\n",
+    )
+    .unwrap();
+    let g = &loaded.graph;
+    assert_eq!(loaded.labels, vec!["7", "9", "12", "42"]);
+    assert_eq!(g.num_vertices(), 4);
+    assert_eq!(g.num_edges(), 3);
+    assert_eq!(loaded.stats.pairs, 6);
+    assert_eq!(loaded.stats.self_loops, 1);
+    assert_eq!(loaded.stats.duplicates, 2);
+    let id = |l: &str| loaded.id_of(l).unwrap();
+    assert!(g.has_edge(id("7"), id("9")));
+    assert!(g.has_edge(id("9"), id("12")));
+    assert!(g.has_edge(id("12"), id("42")));
+    assert!(!g.has_edge(id("7"), id("42")));
+    check_topology_invariants(g);
+}
+
+/// The bundled dataset and the generated substrates all pass the full
+/// structural invariant sweep (symmetry, edge counts, edge-index contract).
+#[test]
+fn all_substrates_satisfy_the_topology_invariants() {
+    check_topology_invariants(&karate_club().graph);
+    check_topology_invariants(&barabasi_albert(128, 3, 17));
+    check_topology_invariants(&fat_tree(6));
+    check_topology_invariants(&random_regular(90, 6, 17));
+}
+
+/// The karate club round-trips through emit/parse like any other explicit
+/// graph once its labels are dense (the loaded graph's ids, not the raw
+/// 1-indexed member numbers).
+#[test]
+fn karate_club_round_trips_through_emit() {
+    let mut graph = karate_club().graph;
+    // emit/parse round-trips the `from_edges` default label.
+    graph.set_label("explicit(n=34)");
+    let back = parse_edge_list(&emit_edge_list(&graph)).unwrap();
+    assert_eq!(back.graph, graph);
+    assert_eq!(back.graph.degree(VertexId(33)), 17);
+}

@@ -213,6 +213,7 @@ fn run_all_enumerates_the_registry() {
     assert_eq!(reports.len(), experiments.len());
     assert!(experiments.iter().any(|e| e.binary == "exp_fault_models"));
     assert!(experiments.iter().any(|e| e.binary == "exp_churn"));
-    // E12 runs last in registry order and is the churn experiment.
-    assert!(reports.last().unwrap().name().contains("churn"));
+    assert!(experiments.iter().any(|e| e.binary == "exp_real_world"));
+    // E13 runs last in registry order and is the real-world matrix.
+    assert!(reports.last().unwrap().name().contains("real-world"));
 }
